@@ -1,0 +1,37 @@
+"""Figure 4 — strong scaling of a single Coherent Fusion scoring job.
+
+Two series are regenerated: the analytic paper-scale curves (1/2/4/8 nodes
+at per-rank batch sizes 12/23/56) and a measured in-process scaling sweep
+of a small real job, demonstrating the same qualitative shape.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.eval.reports import render_series
+from repro.experiments import figure4
+
+
+def test_figure4_modelled_strong_scaling(benchmark):
+    result = benchmark(figure4.run_figure4)
+    lines = []
+    for batch, rows in sorted(result.modelled.items()):
+        lines.append(render_series(f"batch size {batch} per rank", [n for n, _ in rows], [t for _, t in rows],
+                                   "nodes", "job run time (minutes)"))
+    lines.append("")
+    lines.append("Job failure rate by node count (§4.3): " + ", ".join(f"{n}: {p:.0%}" for n, p in sorted(result.failure_rates.items())))
+    write_artifact("figure4_strong_scaling.txt", "\n".join(lines))
+    claims = figure4.qualitative_claims(result)
+    assert all(claims.values()), claims
+
+
+def test_figure4_measured_scaling(benchmark, workbench):
+    result = benchmark.pedantic(
+        figure4.run_figure4,
+        kwargs={"workbench": workbench, "measure": True, "measured_poses": 24},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Measured in-process scaling (ranks vs seconds):"]
+    for batch, rows in sorted(result.measured.items()):
+        lines.append(render_series(f"batch {batch}", [r for r, _ in rows], [t for _, t in rows], "ranks", "seconds"))
+    write_artifact("figure4_measured_scaling.txt", "\n".join(lines))
+    assert result.measured

@@ -1,0 +1,28 @@
+"""Figure 6 — precision/recall and F1 per SARS-CoV-2 target at 33 % inhibition."""
+
+from benchmarks.conftest import write_artifact
+from repro.eval.reports import render_pr_summary
+from repro.experiments import figure6
+
+
+def test_figure6_precision_recall_by_target(benchmark, workbench, campaign):
+    result = benchmark.pedantic(figure6.run_figure6, args=(workbench, campaign), rounds=1, iterations=1)
+    sections = []
+    for site_name, per_method in sorted(result.per_site.items()):
+        positives, negatives = result.counts[site_name]
+        header = f"{site_name}: {positives} positive / {negatives} negative binders at >{result.threshold:.0f}% inhibition"
+        if per_method:
+            sections.append(header + "\n" + render_pr_summary(per_method))
+        else:
+            sections.append(header + "\n  (too few positives at this scale for a P/R analysis)")
+    stats = figure6.hit_statistics(campaign, result.threshold)
+    sections.append(
+        f"campaign: {stats['num_tested']:.0f} compounds tested, {stats['num_hits']:.0f} hits (>33% inhibition), "
+        f"hit rate {stats['hit_rate']:.1%}, {stats['num_full_inhibitors']:.0f} full inhibitors"
+    )
+    write_artifact("figure6_target_pr.txt", "\n\n".join(sections))
+
+    assert set(result.counts) == set(campaign.selections)
+    claims = figure6.qualitative_claims(result, campaign)
+    assert claims["hit_rate_between_1_and_40_percent"] or stats["num_tested"] < 20
+    benchmark.extra_info["hit_rate"] = stats["hit_rate"]

@@ -1,0 +1,20 @@
+"""Figure 7 — top experimentally confirmed compounds per target."""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments import figure7
+
+
+def test_figure7_top_compounds(benchmark, workbench, campaign):
+    compounds = benchmark.pedantic(
+        figure7.run_figure7,
+        args=(workbench, campaign),
+        kwargs={"sites": ("protease1", "spike1"), "top_per_site": 2},
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("figure7_top_compounds.txt", figure7.render(compounds))
+    claims = figure7.qualitative_claims(compounds)
+    assert claims["has_compounds"]
+    assert claims["top_compounds_active"]
+    for compound in compounds:
+        benchmark.extra_info[f"{compound.site_name}/{compound.compound_id}"] = round(compound.percent_inhibition, 1)

@@ -1,0 +1,38 @@
+"""Table 1 — hyper-parameter search space exposed to the PB2 optimization.
+
+Regenerates the per-model search-space definition (ranges and options) and
+benchmarks configuration sampling, which is the inner loop of every PB2
+explore step.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.eval.reports import format_table
+from repro.experiments.tables2to5 import table1_search_space_summary
+from repro.hpo.space import cnn3d_search_space, fusion_search_space, sgcnn_search_space
+
+
+def test_table1_search_space_definition(benchmark):
+    """Render the Table 1 search space and benchmark sampling from it."""
+    spaces = {"3D-CNN": cnn3d_search_space(), "SG-CNN": sgcnn_search_space(), "Fusion": fusion_search_space()}
+    rng = np.random.default_rng(0)
+
+    def sample_all():
+        return [space.sample(rng) for space in spaces.values()]
+
+    configs = benchmark(sample_all)
+    assert len(configs) == 3
+
+    summary = table1_search_space_summary()
+    rows = []
+    for model_name, dims in summary.items():
+        for dim_name, description in dims.items():
+            rows.append([model_name, dim_name, description])
+    text = format_table(["model", "hyper-parameter", "range"], rows, title="Table 1 — PB2 search space")
+    write_artifact("table1_search_space.txt", text)
+
+    # the paper's headline ranges are present
+    assert summary["Fusion"]["batch_size"].endswith("56))") or "56" in summary["Fusion"]["batch_size"]
+    assert "log-uniform" in summary["Fusion"]["learning_rate"]
+    assert "2, 3, 4, 5, 6, 7, 8" in summary["SG-CNN"]["covalent_k"]

@@ -1,0 +1,58 @@
+"""Table 7 — single-job and peak screening throughput.
+
+Regenerates the throughput table from the analytic performance model and
+benchmarks a real (small) in-process scoring job so the startup /
+evaluation / output decomposition is exercised by actual code, not only by
+the model.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments import table7
+from repro.screening.job import FusionScoringJob
+
+
+def test_table7_modelled_throughput(benchmark):
+    rows = benchmark(table7.run_table7)
+    write_artifact("table7_throughput.txt", table7.render(rows))
+    claims = table7.qualitative_claims(rows)
+    assert all(claims.values()), claims
+    benchmark.extra_info["poses_per_second_single"] = rows["single_job"]["poses_per_second"]
+    benchmark.extra_info["poses_per_second_peak"] = rows["peak"]["poses_per_second"]
+    benchmark.extra_info["speedup_vs_vina"] = rows["speedups"]["fusion_vs_vina"]
+    benchmark.extra_info["speedup_vs_mmgbsa"] = rows["speedups"]["fusion_vs_mmgbsa"]
+
+
+def test_table7_measured_job_breakdown(benchmark, workbench, campaign):
+    """Run one real in-process scoring job and record its phase breakdown."""
+    site_name = campaign.database.sites()[0]
+    records = [r for r in campaign.database.records() if r.site_name == site_name][:24]
+    site = campaign.sites[site_name]
+
+    def run_job():
+        job = FusionScoringJob(
+            model=workbench.coherent_fusion,
+            featurizer=workbench.featurizer,
+            site=site,
+            records=records,
+            num_nodes=2,
+            gpus_per_node=2,
+            batch_size_per_rank=8,
+            job_name="bench-job",
+        )
+        return job.run()
+
+    result = benchmark.pedantic(run_job, rounds=1, iterations=1)
+    assert result.num_poses == len(records)
+    lines = ["Measured in-process scoring job (not paper scale):"]
+    for phase, seconds in result.timings.items():
+        lines.append(f"  {phase:>12s}: {seconds:.3f} s")
+    modelled = result.modelled
+    lines.append("Modelled at paper scale (2M poses, 4 nodes, batch 56):")
+    paper_scale = FusionScoringJob(
+        model=workbench.coherent_fusion, featurizer=workbench.featurizer, site=site,
+        records=records, num_nodes=4, batch_size_per_rank=56,
+    ).modelled_estimate(num_poses=2_000_000)
+    lines.append(f"  startup {paper_scale.startup_minutes:.1f} min, evaluation {paper_scale.evaluation_minutes:.1f} min, "
+                 f"output {paper_scale.output_minutes:.1f} min, {paper_scale.poses_per_second:.0f} poses/s")
+    write_artifact("table7_measured_job.txt", "\n".join(lines))
+    assert modelled is not None

@@ -1,0 +1,65 @@
+"""Retrospective analysis of the screening campaign (paper §5.2-§5.3).
+
+Connects computational predictions to the simulated experimental results:
+per-target correlations of Vina / AMPL MM/GBSA / Coherent Fusion with
+percent inhibition (Table 8), the >33 % inhibition binary classification
+with precision/recall and Cohen's kappa (Figure 6), the predicted-affinity
+vs inhibition scatter (Figure 5) and the top confirmed compounds
+(Figure 7).
+
+Run:  python examples/retrospective_analysis.py
+Expected runtime: a few minutes.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reports import render_pr_summary
+from repro.experiments import figure5, figure6, figure7, table8
+from repro.experiments.common import build_workbench, run_campaign
+
+
+def main() -> None:
+    workbench = build_workbench("tiny")
+    campaign = run_campaign(
+        workbench,
+        library_counts={"emolecules": 20, "enamine": 16, "zinc_world_approved": 8},
+        compounds_tested_per_site=14,
+        poses_per_compound=3,
+        seed=2021,
+    )
+    print(f"campaign: {len(campaign.database)} poses scored, "
+          f"{sum(len(v) for v in campaign.selections.values())} compounds tested experimentally, "
+          f"hit rate {campaign.hit_rate():.1%} at >33% inhibition\n")
+
+    print("=== Table 8: correlation with percent inhibition (>1% inhibitors) ===")
+    rows = table8.run_table8(workbench, campaign)
+    print(table8.render(rows))
+    best = {}
+    for row in rows:
+        if row.n >= 3 and row.pearson == row.pearson:  # skip NaN
+            current = best.get(row.target)
+            if current is None or row.pearson > current[1]:
+                best[row.target] = (row.method, row.pearson)
+    for target, (method, value) in sorted(best.items()):
+        print(f"  best method for {target}: {method} (Pearson {value:+.2f})")
+
+    print("\n=== Figure 5: predicted affinity vs percent inhibition ===")
+    for site_name, series in sorted(figure5.run_figure5(workbench, campaign).items()):
+        print(f"  {site_name}: {series.num_points} active compounds at {series.concentration_um:.0f} uM")
+
+    print("\n=== Figure 6: classification at the 33% inhibition threshold ===")
+    result = figure6.run_figure6(workbench, campaign)
+    for site_name, per_method in sorted(result.per_site.items()):
+        positives, negatives = result.counts[site_name]
+        print(f"\n{site_name}  ({positives} positives / {negatives} negatives)")
+        if per_method:
+            print(render_pr_summary(per_method))
+        else:
+            print("  too few positives at this scale for a P/R analysis")
+
+    print("\n=== Figure 7: top experimentally confirmed compounds ===")
+    print(figure7.render(figure7.run_figure7(workbench, campaign, sites=("protease1", "spike1"))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` keeps working on minimal, offline
+environments where the ``wheel`` package (needed for PEP 660 editable
+wheels) is unavailable and pip falls back to the legacy develop install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — reproduction of the SC'21 Deep Fusion virtual-screening system.
+
+The package re-implements, in pure NumPy/SciPy, the system described in
+"High-Throughput Virtual Screening of Small Molecule Inhibitors for
+SARS-CoV-2 Protein Targets with Deep Fusion Models" (Stevenson et al.,
+SC 2021): the 3D-CNN and SG-CNN binding-affinity models, their Late /
+Mid-level / Coherent fusion, the PB2 population-based hyper-parameter
+optimization, the ConveyorLC-style physics-based docking substrate, the
+distributed high-throughput scoring architecture, and the retrospective
+SARS-CoV-2 campaign analysis.
+
+Sub-packages
+------------
+``repro.nn``           NumPy autograd engine, layers, optimizers, data loaders.
+``repro.chem``         Molecules, proteins, complexes, descriptors, ligand prep.
+``repro.featurize``    Voxel grids and spatial graphs for the two model heads.
+``repro.datasets``     Synthetic PDBbind, compound libraries, assay simulators.
+``repro.docking``      Vina-like docking, MM/GBSA rescoring, ConveyorLC pipeline.
+``repro.models``       3D-CNN, SG-CNN, Late / Mid-level / Coherent Fusion.
+``repro.hpo``          PB2 population-based bandit hyper-parameter optimization.
+``repro.hpc``          Simulated cluster, LSF scheduler, MPI/Horovod, HDF5 store.
+``repro.screening``    Distributed fusion scoring jobs and campaign pipeline.
+``repro.eval``         Metrics, classification analyses, report rendering.
+``repro.experiments``  Drivers regenerating every paper table and figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,87 @@
+"""Element data for the subset of the periodic table used in drug-like molecules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Element:
+    """Static per-element properties.
+
+    Attributes
+    ----------
+    symbol:
+        Chemical symbol.
+    atomic_number:
+        Atomic number (Z).
+    mass:
+        Average atomic mass in Daltons.
+    vdw_radius:
+        Van der Waals radius in Angstroms (used by the voxelizer and the
+        steric terms of the interaction model).
+    electronegativity:
+        Pauling electronegativity (drives partial-charge assignment).
+    max_valence:
+        Maximum number of covalent bonds formed in the molecule generator.
+    is_metal:
+        Whether the element is treated as a metal (metal-containing
+        ligands are stripped during preparation, as in the paper's MOE
+        step).
+    is_halogen:
+        Whether the element is a halogen.
+    """
+
+    symbol: str
+    atomic_number: int
+    mass: float
+    vdw_radius: float
+    electronegativity: float
+    max_valence: int
+    is_metal: bool = False
+    is_halogen: bool = False
+
+
+ELEMENTS: dict[str, Element] = {
+    "H": Element("H", 1, 1.008, 1.20, 2.20, 1),
+    "C": Element("C", 6, 12.011, 1.70, 2.55, 4),
+    "N": Element("N", 7, 14.007, 1.55, 3.04, 3),
+    "O": Element("O", 8, 15.999, 1.52, 3.44, 2),
+    "F": Element("F", 9, 18.998, 1.47, 3.98, 1, is_halogen=True),
+    "P": Element("P", 15, 30.974, 1.80, 2.19, 5),
+    "S": Element("S", 16, 32.06, 1.80, 2.58, 2),
+    "Cl": Element("Cl", 17, 35.45, 1.75, 3.16, 1, is_halogen=True),
+    "Br": Element("Br", 35, 79.904, 1.85, 2.96, 1, is_halogen=True),
+    "I": Element("I", 53, 126.904, 1.98, 2.66, 1, is_halogen=True),
+    "Na": Element("Na", 11, 22.990, 2.27, 0.93, 1, is_metal=True),
+    "K": Element("K", 19, 39.098, 2.75, 0.82, 1, is_metal=True),
+    "Mg": Element("Mg", 12, 24.305, 1.73, 1.31, 2, is_metal=True),
+    "Ca": Element("Ca", 20, 40.078, 2.31, 1.00, 2, is_metal=True),
+    "Zn": Element("Zn", 30, 65.38, 1.39, 1.65, 2, is_metal=True),
+    "Fe": Element("Fe", 26, 55.845, 1.52, 1.83, 3, is_metal=True),
+}
+
+#: Heavy-atom elements eligible for generated drug-like scaffolds and
+#: their approximate sampling frequencies.
+ORGANIC_SUBSET: dict[str, float] = {
+    "C": 0.70,
+    "N": 0.12,
+    "O": 0.12,
+    "S": 0.025,
+    "F": 0.02,
+    "Cl": 0.01,
+    "Br": 0.004,
+    "P": 0.001,
+}
+
+#: Counter-ions used to synthesize "salted" input structures for the
+#: preparation pipeline tests.
+SALT_IONS: tuple[str, ...] = ("Na", "K", "Cl", "Ca", "Mg")
+
+
+def get_element(symbol: str) -> Element:
+    """Return the :class:`Element` record for ``symbol`` (case sensitive)."""
+    try:
+        return ELEMENTS[symbol]
+    except KeyError as exc:
+        raise KeyError(f"unknown element symbol '{symbol}'") from exc

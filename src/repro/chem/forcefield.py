@@ -1,0 +1,114 @@
+"""Simplified molecular-mechanics force field.
+
+Plays the role of the GAFF/ff14SB force fields used by the paper's AMBER
+preparation and MM/GBSA rescoring stages.  Terms:
+
+* harmonic bond stretch around a single reference length;
+* Lennard-Jones 12-6 interactions between non-bonded atom pairs;
+* Coulomb interactions between partial charges with a distance-dependent
+  dielectric (a standard implicit-solvent shortcut).
+
+Energies are in kcal/mol and forces in kcal/mol/Angstrom. The absolute
+scale is not meant to be quantitative — only the relative ordering of
+conformers and protein-ligand geometries matters for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+
+
+@dataclass
+class ForceFieldEnergy:
+    """Decomposed force-field energy (kcal/mol)."""
+
+    bond: float
+    vdw: float
+    electrostatic: float
+
+    @property
+    def total(self) -> float:
+        return float(self.bond + self.vdw + self.electrostatic)
+
+
+class ForceField:
+    """Minimal intramolecular force field with analytic forces."""
+
+    def __init__(
+        self,
+        bond_k: float = 100.0,
+        bond_r0: float = 1.5,
+        lj_epsilon: float = 0.15,
+        coulomb_constant: float = 332.06,
+        dielectric: float = 8.0,
+    ) -> None:
+        self.bond_k = float(bond_k)
+        self.bond_r0 = float(bond_r0)
+        self.lj_epsilon = float(lj_epsilon)
+        self.coulomb_constant = float(coulomb_constant)
+        self.dielectric = float(dielectric)
+
+    # ------------------------------------------------------------------ #
+    def energy_components(self, molecule: Molecule) -> ForceFieldEnergy:
+        """Return the decomposed energy of the molecule's current conformer."""
+        energy, _ = self._compute(molecule, want_forces=False)
+        return energy
+
+    def energy_and_forces(self, molecule: Molecule) -> tuple[float, np.ndarray]:
+        """Return total energy and per-atom forces (negative gradient)."""
+        energy, forces = self._compute(molecule, want_forces=True)
+        return energy.total, forces
+
+    # ------------------------------------------------------------------ #
+    def _compute(self, molecule: Molecule, want_forces: bool) -> tuple[ForceFieldEnergy, np.ndarray]:
+        coords = molecule.coordinates
+        n = molecule.num_atoms
+        forces = np.zeros((n, 3))
+        bond_energy = 0.0
+        bonded_pairs = set()
+        for bond in molecule.bonds:
+            i, j = bond.i, bond.j
+            bonded_pairs.add((min(i, j), max(i, j)))
+            delta = coords[i] - coords[j]
+            r = np.linalg.norm(delta) + 1e-12
+            diff = r - self.bond_r0
+            bond_energy += self.bond_k * diff**2
+            if want_forces:
+                f = -2.0 * self.bond_k * diff * delta / r
+                forces[i] += f
+                forces[j] -= f
+
+        vdw_energy = 0.0
+        elec_energy = 0.0
+        if n > 1:
+            radii = np.array([a.vdw_radius for a in molecule.atoms])
+            charges = np.array([a.partial_charge for a in molecule.atoms])
+            delta = coords[:, None, :] - coords[None, :, :]
+            dist = np.linalg.norm(delta, axis=-1)
+            iu, ju = np.triu_indices(n, k=1)
+            mask = np.array([(a, b) not in bonded_pairs for a, b in zip(iu, ju)])
+            iu, ju = iu[mask], ju[mask]
+            if iu.size:
+                r = np.maximum(dist[iu, ju], 0.4)
+                sigma = 0.9 * (radii[iu] + radii[ju]) / 2.0
+                sr6 = (sigma / r) ** 6
+                pair_vdw = 4.0 * self.lj_epsilon * (sr6**2 - sr6)
+                vdw_energy = float(pair_vdw.sum())
+                qq = charges[iu] * charges[ju]
+                pair_elec = self.coulomb_constant * qq / (self.dielectric * r**2)
+                elec_energy = float(pair_elec.sum())
+                if want_forces:
+                    # dE/dr for both terms
+                    dvdw = 4.0 * self.lj_epsilon * (-12.0 * sr6**2 + 6.0 * sr6) / r
+                    delec = -2.0 * self.coulomb_constant * qq / (self.dielectric * r**3)
+                    dtotal = dvdw + delec
+                    direction = (coords[iu] - coords[ju]) / r[:, None]
+                    pair_force = -dtotal[:, None] * direction
+                    np.add.at(forces, iu, pair_force)
+                    np.add.at(forces, ju, -pair_force)
+
+        return ForceFieldEnergy(bond=float(bond_energy), vdw=vdw_energy, electrostatic=elec_energy), forces

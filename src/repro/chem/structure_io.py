@@ -1,0 +1,79 @@
+"""Structure text formats: PDB-like export of complexes and poses.
+
+The paper's Figure 7 presents selected compounds bound to their target
+sites; downstream tooling (visualization, MD setup) consumes PDB files.
+This module writes complexes and standalone molecules in a minimal
+PDB-flavoured text format and reads them back, so campaign artefacts can
+be exported and inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.atom import Atom
+from repro.chem.complexes import ProteinLigandComplex
+from repro.chem.molecule import Molecule
+
+
+def molecule_to_pdb(molecule: Molecule, chain: str = "A", residue_name: str = "LIG", hetatm: bool = True) -> str:
+    """Serialize one molecule as PDB ATOM/HETATM records (plus CONECT for bonds)."""
+    record = "HETATM" if hetatm else "ATOM  "
+    lines = []
+    for atom in molecule.atoms:
+        x, y, z = atom.position
+        name = f"{atom.element}{atom.index + 1}"[:4]
+        lines.append(
+            f"{record}{atom.index + 1:5d} {name:<4s} {residue_name:<3s} {chain}{1:4d}    "
+            f"{x:8.3f}{y:8.3f}{z:8.3f}{1.00:6.2f}{atom.partial_charge:6.2f}          {atom.element:>2s}"
+        )
+    for bond in molecule.bonds:
+        lines.append(f"CONECT{bond.i + 1:5d}{bond.j + 1:5d}")
+    return "\n".join(lines)
+
+
+def complex_to_pdb(complex_: ProteinLigandComplex, title: str | None = None) -> str:
+    """Serialize a protein-ligand complex: pocket pseudo-atoms as chain P, ligand as chain L."""
+    lines = [f"TITLE     {title or complex_.complex_id or 'complex'}"]
+    lines.append(f"REMARK   site={complex_.site.name} target={complex_.site.target} pose={complex_.pose_id}")
+    pocket = Molecule(complex_.site.atoms, [], name=complex_.site.name)
+    lines.append(molecule_to_pdb(pocket, chain="P", residue_name="POC", hetatm=False))
+    lines.append("TER")
+    lines.append(molecule_to_pdb(complex_.ligand, chain="L", residue_name="LIG", hetatm=True))
+    lines.append("END")
+    return "\n".join(lines)
+
+
+def pdb_to_molecule(text: str, name: str = "") -> Molecule:
+    """Parse ATOM/HETATM/CONECT records back into a molecule.
+
+    Only the fields written by :func:`molecule_to_pdb` are interpreted;
+    this is a loader for round-tripping the library's own artefacts, not a
+    general PDB parser.
+    """
+    atoms: list[Atom] = []
+    bonds: list[tuple[int, int]] = []
+    index_map: dict[int, int] = {}
+    for line in text.splitlines():
+        record = line[:6].strip()
+        if record in ("ATOM", "HETATM"):
+            serial = int(line[6:11])
+            x = float(line[30:38])
+            y = float(line[38:46])
+            z = float(line[46:54])
+            element = line[76:78].strip() or line[12:16].strip()[:1]
+            charge = float(line[60:66]) if line[60:66].strip() else 0.0
+            index_map[serial] = len(atoms)
+            atoms.append(Atom(element=element, position=np.array([x, y, z]), partial_charge=charge))
+        elif record == "CONECT":
+            fields = line.split()
+            if len(fields) >= 3:
+                bonds.append((int(fields[1]), int(fields[2])))
+    molecule = Molecule(atoms, [], name=name)
+    for serial_i, serial_j in bonds:
+        if serial_i in index_map and serial_j in index_map:
+            try:
+                molecule.add_bond(index_map[serial_i], index_map[serial_j])
+            except ValueError:
+                pass  # duplicate CONECT records are legal in PDB
+    return molecule

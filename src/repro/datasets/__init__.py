@@ -1,0 +1,29 @@
+"""Datasets: synthetic PDBbind, compound libraries, assay simulators."""
+
+from repro.datasets.splits import quintile_split, random_split
+from repro.datasets.pdbbind import PDBbindConfig, PDBbindDataset, PDBbindEntry, generate_pdbbind
+from repro.datasets.libraries import (
+    LIBRARY_PROFILES,
+    CompoundLibrary,
+    build_screening_deck,
+)
+from repro.datasets.assays import (
+    InhibitionAssay,
+    make_assay_panel,
+    simulate_campaign_assays,
+)
+
+__all__ = [
+    "quintile_split",
+    "random_split",
+    "PDBbindConfig",
+    "PDBbindEntry",
+    "PDBbindDataset",
+    "generate_pdbbind",
+    "CompoundLibrary",
+    "LIBRARY_PROFILES",
+    "build_screening_deck",
+    "InhibitionAssay",
+    "make_assay_panel",
+    "simulate_campaign_assays",
+]

@@ -1,0 +1,94 @@
+"""Train/validation splitting strategies.
+
+The paper uses *quintile sub-sampling*: the affinity range is divided
+into five quantile bins and 10 % of each bin is withdrawn into the
+validation set, guaranteeing that training and validation cover the full
+affinity range (simple random sampling risks training and validating on
+different sub-ranges — Ellingson et al. 2020).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def quintile_split(
+    values: np.ndarray,
+    val_fraction: float = 0.10,
+    num_bins: int = 5,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split indices into train/validation with per-quantile-bin sampling.
+
+    Parameters
+    ----------
+    values:
+        Label values (binding affinities) of each example.
+    val_fraction:
+        Fraction of each quantile bin moved to the validation set.
+    num_bins:
+        Number of quantile bins (five — quintiles — in the paper).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    (train_indices, validation_indices):
+        Disjoint integer index arrays covering every example.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    if num_bins < 1:
+        raise ValueError("num_bins must be >= 1")
+    rng = ensure_rng(rng)
+    n = len(values)
+    if n < num_bins:
+        num_bins = max(1, n)
+    # quantile bin edges; duplicate edges (constant labels) collapse bins
+    quantiles = np.quantile(values, np.linspace(0.0, 1.0, num_bins + 1))
+    bin_ids = np.clip(np.searchsorted(quantiles, values, side="right") - 1, 0, num_bins - 1)
+
+    val_indices: list[int] = []
+    for bin_id in range(num_bins):
+        members = np.where(bin_ids == bin_id)[0]
+        if members.size == 0:
+            continue
+        n_val = int(round(val_fraction * members.size))
+        if n_val == 0 and members.size > 1:
+            n_val = 1
+        chosen = rng.choice(members, size=min(n_val, members.size), replace=False)
+        val_indices.extend(int(i) for i in chosen)
+    val_array = np.array(sorted(set(val_indices)), dtype=int)
+    train_array = np.setdiff1d(np.arange(n), val_array)
+    return train_array, val_array
+
+
+def random_split(n: int, val_fraction: float = 0.10, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Plain random split (used as an ablation baseline against quintile_split)."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    rng = ensure_rng(rng)
+    order = rng.permutation(n)
+    n_val = max(1, int(round(val_fraction * n)))
+    val = np.sort(order[:n_val])
+    train = np.sort(order[n_val:])
+    return train, val
+
+
+def coverage_by_bin(values: np.ndarray, indices: np.ndarray, num_bins: int = 5) -> np.ndarray:
+    """Fraction of each quantile bin captured by ``indices`` (diagnostic for tests)."""
+    values = np.asarray(values, dtype=np.float64)
+    quantiles = np.quantile(values, np.linspace(0.0, 1.0, num_bins + 1))
+    bin_ids = np.clip(np.searchsorted(quantiles, values, side="right") - 1, 0, num_bins - 1)
+    fractions = np.zeros(num_bins)
+    index_set = set(int(i) for i in indices)
+    for bin_id in range(num_bins):
+        members = np.where(bin_ids == bin_id)[0]
+        if members.size:
+            fractions[bin_id] = sum(1 for m in members if int(m) in index_set) / members.size
+    return fractions

@@ -1,0 +1,172 @@
+"""Docking pose generation and RMSD utilities.
+
+``PoseGenerator`` performs rigid-body Monte-Carlo search of a ligand
+inside a binding site under a scoring function (Vina-style when producing
+docking data, the latent interaction model when constructing the
+"crystal" poses of the synthetic PDBbind set). ConveyorLC's CDT3Docking
+stage keeps up to 10 best poses per compound and site, which is the
+default here as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.complexes import ProteinLigandComplex
+from repro.chem.conformer import random_rotation_matrix
+from repro.chem.molecule import Molecule
+from repro.chem.protein import BindingSite
+from repro.utils.rng import ensure_rng
+
+
+def rmsd(pose_a: Molecule, pose_b: Molecule) -> float:
+    """Heavy-atom RMSD between two poses of the same molecule (no alignment)."""
+    return pose_a.rmsd_to(pose_b)
+
+
+def place_ligand_randomly(site: BindingSite, ligand: Molecule, rng=None) -> Molecule:
+    """Place the ligand with random orientation near the pocket mouth."""
+    rng = ensure_rng(rng)
+    centered = ligand.translate(-ligand.centroid())
+    rotated = centered.rotate(random_rotation_matrix(rng), center=np.zeros(3))
+    depth_offset = np.array([0.0, 0.0, -0.45 * site.family.depth])
+    jitter = rng.normal(scale=1.0, size=3)
+    return rotated.translate(site.center + depth_offset + jitter)
+
+
+@dataclass
+class DockedPose:
+    """One docking pose with its scores and geometry."""
+
+    complex: ProteinLigandComplex
+    score: float
+    pose_id: int
+    rmsd_to_reference: float = float("nan")
+    metadata: dict = field(default_factory=dict)
+
+
+class PoseGenerator:
+    """Monte-Carlo rigid-body pose search.
+
+    Parameters
+    ----------
+    scorer:
+        Object exposing ``score(complex) -> float`` where lower is better
+        (kcal/mol-like). Pass an adapter when maximizing pK.
+    num_poses:
+        Number of distinct poses to retain (10 in ConveyorLC).
+    monte_carlo_steps:
+        Number of MC perturbation steps per restart.
+    restarts:
+        Number of independent random restarts (8 MC simulations per
+        compound in the paper's Vina configuration).
+    temperature:
+        Metropolis acceptance temperature in score units.
+    min_pose_separation:
+        Minimum heavy-atom RMSD between two retained poses.
+    """
+
+    def __init__(
+        self,
+        scorer,
+        num_poses: int = 10,
+        monte_carlo_steps: int = 60,
+        restarts: int = 4,
+        temperature: float = 1.2,
+        min_pose_separation: float = 0.75,
+        seed=None,
+    ) -> None:
+        if num_poses <= 0:
+            raise ValueError("num_poses must be positive")
+        self.scorer = scorer
+        self.num_poses = int(num_poses)
+        self.monte_carlo_steps = int(monte_carlo_steps)
+        self.restarts = int(restarts)
+        self.temperature = float(temperature)
+        self.min_pose_separation = float(min_pose_separation)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def dock(
+        self,
+        site: BindingSite,
+        ligand: Molecule,
+        complex_id: str = "",
+        reference: Molecule | None = None,
+    ) -> list[DockedPose]:
+        """Dock ``ligand`` into ``site`` and return up to ``num_poses`` poses.
+
+        Poses are sorted by increasing score (best first). If ``reference``
+        is given, each pose's RMSD to it is recorded (the paper filters
+        core-set docking poses at RMSD < 1 A of the crystal pose).
+        """
+        rng = self._rng
+        candidates: list[tuple[float, Molecule]] = []
+        for _ in range(self.restarts):
+            pose = place_ligand_randomly(site, ligand, rng)
+            current = self._score(site, pose, complex_id)
+            best_pose, best_score = pose, current
+            for step in range(self.monte_carlo_steps):
+                proposal = self._perturb(pose, rng, step)
+                proposal_score = self._score(site, proposal, complex_id)
+                delta = proposal_score - current
+                if delta < 0 or rng.random() < np.exp(-delta / self.temperature):
+                    pose, current = proposal, proposal_score
+                    if current < best_score:
+                        best_pose, best_score = pose, current
+            candidates.append((best_score, best_pose))
+            # keep intermediate snapshots too, so clustering has material
+            candidates.append((current, pose))
+
+        candidates.sort(key=lambda item: item[0])
+        selected: list[tuple[float, Molecule]] = []
+        for score, pose in candidates:
+            if len(selected) >= self.num_poses:
+                break
+            if all(rmsd(pose, kept) >= self.min_pose_separation for _, kept in selected):
+                selected.append((score, pose))
+
+        poses: list[DockedPose] = []
+        for pose_id, (score, pose) in enumerate(selected):
+            complex_ = ProteinLigandComplex(site, pose, complex_id=complex_id, pose_id=pose_id)
+            pose_rmsd = rmsd(pose, reference) if reference is not None else float("nan")
+            poses.append(DockedPose(complex=complex_, score=float(score), pose_id=pose_id, rmsd_to_reference=pose_rmsd))
+        return poses
+
+    # ------------------------------------------------------------------ #
+    def _score(self, site: BindingSite, pose: Molecule, complex_id: str) -> float:
+        return float(self.scorer.score(ProteinLigandComplex(site, pose, complex_id=complex_id)))
+
+    def _perturb(self, pose: Molecule, rng: np.random.Generator, step: int) -> Molecule:
+        """Random rigid-body move whose magnitude shrinks as the search progresses."""
+        cooling = max(0.25, 1.0 - step / max(self.monte_carlo_steps, 1))
+        translation = rng.normal(scale=0.6 * cooling, size=3)
+        angle = rng.normal(scale=0.35 * cooling)
+        axis = rng.normal(size=3)
+        axis /= np.linalg.norm(axis) + 1e-12
+        rotation = _axis_angle_matrix(axis, angle)
+        return pose.rotate(rotation).translate(translation)
+
+
+class MaximizePkScorer:
+    """Adapter turning a pK-maximizing objective into a minimizable score.
+
+    Used to construct the synthetic "crystal" poses: nature minimizes the
+    true binding free energy, i.e. maximizes the latent pK.
+    """
+
+    def __init__(self, interaction_model) -> None:
+        self.interaction_model = interaction_model
+
+    def score(self, complex_: ProteinLigandComplex) -> float:
+        return -self.interaction_model.true_pk(complex_)
+
+
+def _axis_angle_matrix(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rotation matrix about ``axis`` by ``angle`` (Rodrigues formula)."""
+    x, y, z = axis
+    c, s = np.cos(angle), np.sin(angle)
+    cross = np.array([[0, -z, y], [z, 0, -x], [-y, x, 0]])
+    return np.eye(3) * c + s * cross + (1 - c) * np.outer(axis, axis)

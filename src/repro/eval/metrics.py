@@ -1,0 +1,173 @@
+"""Regression and classification metrics.
+
+These are the metrics of the paper's evaluation: RMSE / MAE / R² /
+Pearson / Spearman for the core-set regression comparison (Table 6),
+precision-recall curves, F1-scores and Cohen's kappa for the binary
+classification analyses (Figures 2 and 6), and Pearson / Spearman for
+the retrospective correlation table (Table 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def _validate_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics require at least one example")
+    return y_true, y_pred
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination R²."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pearson_r(y_true, y_pred) -> float:
+    """Pearson correlation coefficient (0 when either input is constant)."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if y_true.size < 2 or np.std(y_true) == 0 or np.std(y_pred) == 0:
+        return 0.0
+    return float(stats.pearsonr(y_true, y_pred)[0])
+
+
+def spearman_r(y_true, y_pred) -> float:
+    """Spearman rank correlation coefficient (0 when either input is constant)."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if y_true.size < 2 or np.std(y_true) == 0 or np.std(y_pred) == 0:
+        return 0.0
+    return float(stats.spearmanr(y_true, y_pred)[0])
+
+
+def regression_report(y_true, y_pred) -> dict[str, float]:
+    """All Table 6 regression metrics in one dictionary."""
+    return {
+        "rmse": rmse(y_true, y_pred),
+        "mae": mae(y_true, y_pred),
+        "r2": r2_score(y_true, y_pred),
+        "pearson": pearson_r(y_true, y_pred),
+        "spearman": spearman_r(y_true, y_pred),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Classification metrics
+# --------------------------------------------------------------------------- #
+def _validate_labels(labels, scores) -> tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels).astype(bool).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have matching shapes")
+    if labels.size == 0:
+        raise ValueError("classification metrics require at least one example")
+    return labels, scores
+
+
+def precision_recall_curve(labels, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision-recall curve over descending score thresholds.
+
+    Returns ``(precision, recall, thresholds)`` where element ``i`` uses the
+    threshold ``scores >= thresholds[i]``. Matches the construction used
+    for Figures 2 and 6.
+    """
+    labels, scores = _validate_labels(labels, scores)
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(~sorted_labels)
+    total_pos = labels.sum()
+    # evaluate at the last index of each distinct threshold value
+    distinct = np.where(np.diff(sorted_scores) != 0)[0]
+    idx = np.concatenate([distinct, [labels.size - 1]])
+    precision = tp[idx] / np.maximum(tp[idx] + fp[idx], 1)
+    recall = tp[idx] / max(total_pos, 1)
+    thresholds = sorted_scores[idx]
+    return precision, recall, thresholds
+
+
+def average_precision(labels, scores) -> float:
+    """Area under the precision-recall curve (step-wise interpolation)."""
+    precision, recall, _ = precision_recall_curve(labels, scores)
+    recall = np.concatenate([[0.0], recall])
+    return float(np.sum(np.diff(recall) * precision))
+
+
+def f1_score(labels, predictions) -> float:
+    """F1 score for boolean predictions."""
+    labels = np.asarray(labels).astype(bool).ravel()
+    predictions = np.asarray(predictions).astype(bool).ravel()
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have matching shapes")
+    tp = float(np.sum(labels & predictions))
+    fp = float(np.sum(~labels & predictions))
+    fn = float(np.sum(labels & ~predictions))
+    if tp == 0.0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return float(2 * precision * recall / (precision + recall))
+
+
+def best_f1_score(labels, scores) -> tuple[float, float]:
+    """Best F1 over all score thresholds; returns ``(f1, threshold)``.
+
+    The paper reports a single F1 per method/target; sweeping the
+    threshold gives each scoring method its best operating point, which
+    is how F1 is annotated on the P/R plots.
+    """
+    labels, scores = _validate_labels(labels, scores)
+    best = (0.0, float(scores.max()) if scores.size else 0.0)
+    for threshold in np.unique(scores):
+        value = f1_score(labels, scores >= threshold)
+        if value > best[0]:
+            best = (value, float(threshold))
+    return best
+
+
+def cohens_kappa(labels, predictions) -> float:
+    """Cohen's kappa agreement statistic (Equation 2 of the paper)."""
+    labels = np.asarray(labels).astype(bool).ravel()
+    predictions = np.asarray(predictions).astype(bool).ravel()
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have matching shapes")
+    n = labels.size
+    if n == 0:
+        raise ValueError("cohens_kappa requires at least one example")
+    observed = float(np.mean(labels == predictions))
+    p_yes = float(labels.mean()) * float(predictions.mean())
+    p_no = (1.0 - float(labels.mean())) * (1.0 - float(predictions.mean()))
+    expected = p_yes + p_no
+    if expected >= 1.0:
+        return 0.0
+    return float((observed - expected) / (1.0 - expected))
+
+
+def random_classifier_precision(labels) -> float:
+    """Expected precision of a random classifier (the dashed line in Figures 2/6)."""
+    labels = np.asarray(labels).astype(bool).ravel()
+    if labels.size == 0:
+        raise ValueError("labels must be non-empty")
+    return float(labels.mean())

@@ -1,0 +1,64 @@
+"""Plain-text rendering of tables and figure summaries.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format them consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an ASCII table with aligned columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float) or isinstance(cell, np.floating):
+        if np.isnan(cell):
+            return "-"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_pr_summary(results: Mapping[str, "object"], title: str = "") -> str:
+    """Render the scalar summaries of several BinaryClassificationResult objects."""
+    headers = ["method", "F1", "AP", "kappa", "random precision", "positives", "negatives"]
+    rows = []
+    for method, result in results.items():
+        summary = result.summary()
+        rows.append(
+            [
+                method,
+                summary["f1"],
+                summary["average_precision"],
+                summary["kappa"],
+                summary["random_precision"],
+                int(summary["num_positive"]),
+                int(summary["num_negative"]),
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def render_series(name: str, xs: Sequence[float], ys: Sequence[float], x_label: str, y_label: str) -> str:
+    """Render a figure series as aligned x/y pairs (used for Figures 4 and 5)."""
+    lines = [f"{name}  ({x_label} vs {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:>10.3f}  {y:>12.4f}")
+    return "\n".join(lines)

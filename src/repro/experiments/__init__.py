@@ -1,0 +1,31 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.common import Workbench, build_workbench, run_campaign
+from repro.experiments import (
+    table6,
+    figure2,
+    table7,
+    figure4,
+    figure5,
+    figure6,
+    table8,
+    figure7,
+    tables2to5,
+    ablations,
+)
+
+__all__ = [
+    "Workbench",
+    "build_workbench",
+    "run_campaign",
+    "table6",
+    "figure2",
+    "table7",
+    "figure4",
+    "figure5",
+    "figure6",
+    "table8",
+    "figure7",
+    "tables2to5",
+    "ablations",
+]

@@ -1,0 +1,91 @@
+"""Figure 6: precision-recall curves and F1-scores per target at 33 % inhibition.
+
+The binary classification includes the non-binding compounds (unlike
+Table 8) and separates positives (> 33 % inhibition) from negatives
+(≤ 33 %), the threshold chosen by the paper to avoid severe class
+imbalance.  Each scoring method's predictions are used as the ranking
+score; Cohen's kappa against a random classifier is reported as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.classification import BinaryClassificationResult, evaluate_scores
+from repro.experiments.common import Workbench, run_campaign
+from repro.experiments.table8 import build_method_predictions
+from repro.screening.pipeline import CampaignResult
+
+#: Positive/negative counts per site in the paper's Figure 6 (for reference).
+PAPER_FIGURE6_COUNTS = {
+    "protease1": (30, 311),
+    "protease2": (20, 196),
+    "spike1": (32, 209),
+    "spike2": (26, 218),
+}
+
+
+@dataclass
+class Figure6Result:
+    """Per-site, per-method classification results."""
+
+    per_site: dict[str, dict[str, BinaryClassificationResult]]
+    threshold: float
+    counts: dict[str, tuple[int, int]]  # site -> (positives, negatives)
+
+
+def run_figure6(
+    workbench: Workbench,
+    campaign: CampaignResult | None = None,
+    threshold: float = 33.0,
+) -> Figure6Result:
+    """Regenerate the Figure 6 analysis."""
+    campaign = campaign or run_campaign(workbench)
+    predictions, observations = build_method_predictions(campaign)
+    per_site: dict[str, dict[str, BinaryClassificationResult]] = {}
+    counts: dict[str, tuple[int, int]] = {}
+    for site_name, obs in observations.items():
+        labels = obs > threshold
+        counts[site_name] = (int(labels.sum()), int((~labels).sum()))
+        per_site[site_name] = {}
+        if labels.sum() == 0 or (~labels).sum() == 0:
+            continue  # degenerate site (too few tested compounds at this scale)
+        for method, per_target in predictions.items():
+            scores = np.asarray(per_target[site_name], dtype=np.float64)
+            mask = np.isfinite(scores)
+            if mask.sum() < 2 or labels[mask].sum() == 0 or (~labels[mask]).sum() == 0:
+                continue
+            per_site[site_name][method] = evaluate_scores(method, labels[mask], scores[mask])
+    return Figure6Result(per_site=per_site, threshold=threshold, counts=counts)
+
+
+def hit_statistics(campaign: CampaignResult, threshold: float = 33.0) -> dict[str, float]:
+    """The §5.3 campaign-level statistics: number tested, hits, hit rate."""
+    total = len(campaign.assays.results)
+    hits = sum(1 for r in campaign.assays.results if r.percent_inhibition > threshold)
+    full_inhibitors = sum(1 for r in campaign.assays.results if r.percent_inhibition >= 99.5)
+    return {
+        "num_tested": float(total),
+        "num_hits": float(hits),
+        "hit_rate": hits / total if total else 0.0,
+        "num_full_inhibitors": float(full_inhibitors),
+    }
+
+
+def qualitative_claims(result: Figure6Result, campaign: CampaignResult) -> dict[str, bool]:
+    """Shape checks: models are (mostly) better than random; hit rate is a few percent to tens of percent."""
+    kappas = [
+        res.kappa
+        for per_method in result.per_site.values()
+        for res in per_method.values()
+    ]
+    stats = hit_statistics(campaign, result.threshold)
+    claims = {
+        "most_kappas_nonnegative": (
+            sum(1 for k in kappas if k >= 0.0) >= 0.5 * len(kappas) if kappas else False
+        ),
+        "hit_rate_between_1_and_40_percent": 0.01 <= stats["hit_rate"] <= 0.40 if stats["num_tested"] else False,
+    }
+    return claims

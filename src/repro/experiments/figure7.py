@@ -1,0 +1,84 @@
+"""Figure 7: top experimentally confirmed compounds per target.
+
+The paper's Figure 7 shows four compounds (two against Mpro/protease1 and
+two against spike/spike1) that reached ~100 % inhibition, annotated with
+their Coherent Fusion predicted affinities.  The reproduction reports the
+same kind of artefact: for each requested site, the experimentally tested
+compounds with the highest percent inhibition together with their
+predicted affinities, identifiers and pose summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.reports import format_table
+from repro.experiments.common import Workbench, run_campaign
+from repro.screening.pipeline import CampaignResult
+
+
+@dataclass
+class TopCompound:
+    """One confirmed inhibitor reported in the Figure 7 style."""
+
+    site_name: str
+    compound_id: str
+    percent_inhibition: float
+    fusion_predicted_pk: float
+    vina_score: float
+    heavy_atoms: int
+    smiles: str
+
+
+def run_figure7(
+    workbench: Workbench,
+    campaign: CampaignResult | None = None,
+    sites: tuple[str, ...] = ("protease1", "spike1"),
+    top_per_site: int = 2,
+) -> list[TopCompound]:
+    """Return the ``top_per_site`` strongest experimental inhibitors per site."""
+    from repro.chem.smiles import to_smiles
+
+    campaign = campaign or run_campaign(workbench)
+    out: list[TopCompound] = []
+    for site_name in sites:
+        results = campaign.assays.for_site(site_name)
+        ranked = sorted(results, key=lambda r: -r.percent_inhibition)[: int(top_per_site)]
+        for result in ranked:
+            best = campaign.database.best_pose(site_name, result.compound_id, by="fusion")
+            if best is None:
+                best = campaign.database.best_pose(site_name, result.compound_id, by="vina")
+            if best is None:
+                continue
+            out.append(
+                TopCompound(
+                    site_name=site_name,
+                    compound_id=result.compound_id,
+                    percent_inhibition=result.percent_inhibition,
+                    fusion_predicted_pk=float(best.fusion_pk) if np.isfinite(best.fusion_pk) else float("nan"),
+                    vina_score=float(best.vina_score),
+                    heavy_atoms=best.pose.num_atoms,
+                    smiles=to_smiles(best.pose),
+                )
+            )
+    return out
+
+
+def render(compounds: list[TopCompound]) -> str:
+    headers = ["site", "compound", "% inhibition", "Fusion pK", "Vina score", "heavy atoms"]
+    rows = [
+        [c.site_name, c.compound_id, c.percent_inhibition, c.fusion_predicted_pk, c.vina_score, c.heavy_atoms]
+        for c in compounds
+    ]
+    return format_table(headers, rows, title="Figure 7 — top experimentally confirmed compounds")
+
+
+def qualitative_claims(compounds: list[TopCompound]) -> dict[str, bool]:
+    """Shape checks: each requested site contributes compounds and the top ones show real inhibition."""
+    claims = {
+        "has_compounds": len(compounds) > 0,
+        "top_compounds_active": all(c.percent_inhibition > 0.0 for c in compounds) if compounds else False,
+    }
+    return claims

@@ -1,0 +1,28 @@
+"""Featurization of protein-ligand complexes for the two model heads.
+
+The 3D-CNN consumes a voxelized representation of the complex (Gaussian
+atom densities on a regular grid, separate ligand and pocket channels)
+while the SG-CNN consumes a spatial graph with covalent and non-covalent
+edge types.  Both featurizers follow the descriptions in the FAST paper
+referenced by this work, scaled down by default so the NumPy models train
+in CI time; the paper-scale settings remain available through the
+configuration dataclasses.
+"""
+
+from repro.featurize.atom_features import ATOM_FEATURE_DIM, atom_feature_vector
+from repro.featurize.voxelize import VoxelGridConfig, Voxelizer, random_axis_rotation
+from repro.featurize.graph import GraphBuilder, GraphConfig
+from repro.featurize.pipeline import ComplexFeaturizer, FeaturizedComplex, collate_complexes
+
+__all__ = [
+    "ATOM_FEATURE_DIM",
+    "atom_feature_vector",
+    "VoxelGridConfig",
+    "Voxelizer",
+    "random_axis_rotation",
+    "GraphConfig",
+    "GraphBuilder",
+    "ComplexFeaturizer",
+    "FeaturizedComplex",
+    "collate_complexes",
+]

@@ -1,0 +1,58 @@
+"""Per-atom feature vectors shared by the voxel and graph featurizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.atom import Atom
+
+#: Element classes used for one-hot encoding.
+ELEMENT_CLASSES: tuple[str, ...] = ("C", "N", "O", "S", "P", "halogen", "other")
+
+#: Dimensionality of :func:`atom_feature_vector`.
+ATOM_FEATURE_DIM = len(ELEMENT_CLASSES) + 7
+
+
+def element_class(atom: Atom) -> int:
+    """Index of the atom's element class in :data:`ELEMENT_CLASSES`."""
+    if atom.element in ELEMENT_CLASSES:
+        return ELEMENT_CLASSES.index(atom.element)
+    if atom.is_halogen:
+        return ELEMENT_CLASSES.index("halogen")
+    return ELEMENT_CLASSES.index("other")
+
+
+def atom_feature_vector(atom: Atom, is_ligand: bool) -> np.ndarray:
+    """Feature vector for one atom.
+
+    Layout (length :data:`ATOM_FEATURE_DIM`):
+
+    ==========================  =========
+    element one-hot             7
+    hydrophobic flag            1
+    H-bond donor flag           1
+    H-bond acceptor flag        1
+    aromatic flag               1
+    partial charge              1
+    formal charge               1
+    ligand flag (vs pocket)     1
+    ==========================  =========
+    """
+    vec = np.zeros(ATOM_FEATURE_DIM)
+    vec[element_class(atom)] = 1.0
+    offset = len(ELEMENT_CLASSES)
+    vec[offset + 0] = float(atom.hydrophobic)
+    vec[offset + 1] = float(atom.hbond_donor)
+    vec[offset + 2] = float(atom.hbond_acceptor)
+    vec[offset + 3] = float(atom.aromatic)
+    vec[offset + 4] = float(atom.partial_charge)
+    vec[offset + 5] = float(atom.formal_charge)
+    vec[offset + 6] = 1.0 if is_ligand else 0.0
+    return vec
+
+
+def atom_feature_matrix(atoms, is_ligand_flags) -> np.ndarray:
+    """Stack feature vectors for a list of atoms."""
+    return np.array(
+        [atom_feature_vector(a, flag) for a, flag in zip(atoms, is_ligand_flags)], dtype=np.float64
+    )

@@ -1,0 +1,161 @@
+"""Spatial-graph construction for the SG-CNN head.
+
+Following PotentialNet / FAST, the graph contains the ligand atoms plus
+the pocket atoms within an interaction shell of the ligand. Two edge
+types are built:
+
+* **covalent** edges follow the ligand's bond topology (pocket
+  pseudo-atoms carry no covalent edges) and are additionally restricted
+  to a distance threshold and a per-node neighbour cap ``K`` — the
+  "Covalent Neighbor Threshold" / "Covalent K" hyper-parameters of
+  Table 1;
+* **non-covalent** edges connect any two atoms (ligand-ligand,
+  ligand-pocket, pocket-pocket) within the non-covalent threshold,
+  subject to the non-covalent ``K`` cap.
+
+Adjacency entries are weighted by a smooth distance kernel so that closer
+contacts pass larger messages, and rows are degree-normalized to keep the
+gated propagation numerically stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.complexes import ProteinLigandComplex
+from repro.featurize.atom_features import atom_feature_matrix
+
+
+@dataclass(frozen=True)
+class GraphConfig:
+    """Spatial-graph hyper-parameters (paper Table 1 / Table 2).
+
+    Attributes
+    ----------
+    covalent_threshold:
+        Maximum distance (Angstroms) for covalent edges; the optimized
+        SG-CNN used 2.24 A.
+    noncovalent_threshold:
+        Maximum distance for non-covalent edges; the optimized SG-CNN
+        used 5.22 A.
+    covalent_k / noncovalent_k:
+        Maximum neighbours kept per node and edge type (3 and 6 in the
+        optimized SG-CNN — note the paper reports covalent K 6 /
+        non-covalent K 3).
+    pocket_shell:
+        Pocket atoms farther than this from every ligand atom are dropped
+        from the graph.
+    distance_kernel_width:
+        Width of the exponential distance weighting of adjacency entries.
+    """
+
+    covalent_threshold: float = 2.24
+    noncovalent_threshold: float = 5.22
+    covalent_k: int = 6
+    noncovalent_k: int = 3
+    pocket_shell: float = 6.0
+    distance_kernel_width: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.covalent_threshold <= 0 or self.noncovalent_threshold <= 0:
+            raise ValueError("distance thresholds must be positive")
+        if self.covalent_k <= 0 or self.noncovalent_k <= 0:
+            raise ValueError("neighbour caps must be positive")
+
+
+class GraphBuilder:
+    """Build SG-CNN input graphs from protein-ligand complexes."""
+
+    def __init__(self, config: GraphConfig | None = None) -> None:
+        self.config = config or GraphConfig()
+
+    def build(self, complex_: ProteinLigandComplex) -> dict:
+        """Return a graph dictionary consumable by :class:`repro.nn.GraphBatch`.
+
+        Keys: ``node_features``, ``adjacency`` (covalent / noncovalent),
+        ``ligand_mask``, ``id``.
+        """
+        cfg = self.config
+        ligand = complex_.ligand
+        lig_coords = ligand.coordinates
+        pocket_atoms = complex_.site.atoms
+        pocket_coords = complex_.site.coordinates()
+
+        if lig_coords.size == 0:
+            raise ValueError("cannot build a graph for an empty ligand")
+
+        # pocket atoms within the interaction shell of any ligand atom
+        if pocket_coords.size:
+            dists = np.linalg.norm(pocket_coords[:, None, :] - lig_coords[None, :, :], axis=-1)
+            keep = np.where(dists.min(axis=1) <= cfg.pocket_shell)[0]
+        else:
+            keep = np.array([], dtype=int)
+        kept_pocket_atoms = [pocket_atoms[i] for i in keep]
+
+        atoms = list(ligand.atoms) + kept_pocket_atoms
+        is_ligand = [True] * ligand.num_atoms + [False] * len(kept_pocket_atoms)
+        coords = np.vstack([lig_coords, pocket_coords[keep]]) if len(keep) else lig_coords
+        n = len(atoms)
+
+        node_features = atom_feature_matrix(atoms, is_ligand)
+        all_dist = np.linalg.norm(coords[:, None, :] - coords[None, :, :], axis=-1)
+        kernel = np.exp(-all_dist / cfg.distance_kernel_width)
+
+        covalent = np.zeros((n, n))
+        long_bond = max(cfg.covalent_threshold, 2.0)
+        for bond in ligand.bonds:
+            # bonds longer than the covalent threshold (after conformer noise)
+            # are still chemically covalent, so the threshold only trims bonds
+            # stretched far beyond a typical bond length.
+            if all_dist[bond.i, bond.j] > long_bond:
+                continue
+            weight = kernel[bond.i, bond.j] * bond.order
+            covalent[bond.i, bond.j] = weight
+            covalent[bond.j, bond.i] = weight
+        covalent = _cap_neighbours(covalent, cfg.covalent_k)
+
+        noncovalent = np.where(all_dist <= cfg.noncovalent_threshold, kernel, 0.0)
+        np.fill_diagonal(noncovalent, 0.0)
+        # exclude pairs already covalently bonded
+        noncovalent[covalent > 0] = 0.0
+        noncovalent = _cap_neighbours(noncovalent, cfg.noncovalent_k)
+
+        return {
+            "node_features": node_features,
+            "adjacency": {
+                "covalent": _row_normalize(covalent),
+                "noncovalent": _row_normalize(noncovalent),
+            },
+            "ligand_mask": np.array(is_ligand, dtype=bool),
+            "id": complex_.complex_id or complex_.ligand.name,
+        }
+
+
+def _cap_neighbours(adjacency: np.ndarray, k: int) -> np.ndarray:
+    """Keep only the ``k`` strongest entries per row (symmetrized afterwards)."""
+    n = adjacency.shape[0]
+    if n == 0 or k >= n:
+        return adjacency
+    capped = np.zeros_like(adjacency)
+    for i in range(n):
+        row = adjacency[i]
+        nonzero = np.nonzero(row)[0]
+        if nonzero.size == 0:
+            continue
+        if nonzero.size > k:
+            top = nonzero[np.argsort(row[nonzero])[-k:]]
+        else:
+            top = nonzero
+        capped[i, top] = row[top]
+    # symmetrize: keep an edge if either endpoint selected it
+    return np.maximum(capped, capped.T)
+
+
+def _row_normalize(adjacency: np.ndarray) -> np.ndarray:
+    """Normalize rows to unit sum (rows without edges stay zero)."""
+    row_sums = adjacency.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        normalized = np.where(row_sums > 0, adjacency / row_sums, 0.0)
+    return normalized

@@ -1,0 +1,190 @@
+"""In-process MPI-style communicator.
+
+The distributed Fusion scoring jobs in the paper are 16-rank MPI programs
+built with Horovod; each rank scores its own slice of poses and the
+results are combined with ``allgather`` before parallel file output.  The
+reproduction runs all ranks of a job inside one Python process — either
+sequentially or on a thread pool — but exposes the mpi4py-style API
+(lower-case methods communicate arbitrary Python objects, as in the
+mpi4py tutorial) so the screening code reads like the original MPI
+program.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+
+class LocalCommunicator:
+    """A communicator shared by the ranks of one in-process SPMD job.
+
+    Collective operations follow MPI semantics: every rank must call the
+    collective; ``root`` arguments select the source/destination rank.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("communicator size must be positive")
+        self._size = int(size)
+        self._barrier = threading.Barrier(self._size)
+        self.barrier_timeout = 120.0
+        self._lock = threading.Lock()
+        self._collective_buffer: dict[str, dict[int, Any]] = {}
+        self._collective_results: dict[str, Any] = {}
+        self._generation: dict[str, int] = {}
+        self._queues: dict[tuple[int, int, int], queue.Queue] = {}  # created lazily per (src, dst, tag)
+
+    # ------------------------------------------------------------------ #
+    def Get_size(self) -> int:
+        return self._size
+
+    def Get_rank(self) -> int:  # pragma: no cover - ranks carry their own id
+        raise NotImplementedError("use RankContext.rank; the communicator is shared by all ranks")
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    # Point-to-point
+    # ------------------------------------------------------------------ #
+    def _queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._lock:
+            if key not in self._queues:
+                self._queues[key] = queue.Queue()
+            return self._queues[key]
+
+    def send(self, obj: Any, source: int, dest: int, tag: int = 0) -> None:
+        """Send a Python object from rank ``source`` to rank ``dest``."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        self._queue_for(source, dest, tag).put(obj)
+
+    def recv(self, source: int, dest: int, tag: int = 0, timeout: float | None = 30.0) -> Any:
+        """Receive the next object sent from ``source`` to ``dest``."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        return self._queue_for(source, dest, tag).get(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+        self._barrier.wait(timeout=self.barrier_timeout)
+
+    def _collective(self, name: str, rank: int, value: Any, combine: Callable[[dict[int, Any]], Any]) -> Any:
+        """Generic rendezvous collective: gather every rank's value, combine once."""
+        with self._lock:
+            bucket = self._collective_buffer.setdefault(name, {})
+            bucket[rank] = value
+            ready = len(bucket) == self._size
+            if ready:
+                result = combine(dict(bucket))
+                self._collective_results[name] = result
+                self._collective_buffer[name] = {}
+                generation = self._generation.get(name, 0) + 1
+                self._generation[name] = generation
+        self._barrier.wait(timeout=self.barrier_timeout)
+        result = self._collective_results[name]
+        self._barrier.wait(timeout=self.barrier_timeout)
+        return result
+
+    def allgather(self, rank: int, value: Any, tag: str = "allgather") -> list[Any]:
+        """Every rank contributes a value; every rank receives the rank-ordered list."""
+        return self._collective(tag, rank, value, lambda bucket: [bucket[r] for r in sorted(bucket)])
+
+    def gather(self, rank: int, value: Any, root: int = 0, tag: str = "gather") -> list[Any] | None:
+        """Gather values on ``root``; other ranks receive ``None``."""
+        gathered = self.allgather(rank, value, tag=f"{tag}:impl")
+        return gathered if rank == root else None
+
+    def bcast(self, rank: int, value: Any, root: int = 0, tag: str = "bcast") -> Any:
+        """Broadcast ``value`` from ``root`` to every rank."""
+        result = self._collective(tag, rank, value if rank == root else None, lambda bucket: bucket[root])
+        return result
+
+    def scatter(self, rank: int, values: Sequence[Any] | None, root: int = 0, tag: str = "scatter") -> Any:
+        """Scatter ``values`` (given on root) so rank ``i`` receives ``values[i]``."""
+        def combine(bucket: dict[int, Any]):
+            root_values = bucket[root]
+            if root_values is None or len(root_values) != self._size:
+                raise ValueError("scatter requires a list with one element per rank on the root")
+            return list(root_values)
+
+        scattered = self._collective(tag, rank, values if rank == root else None, combine)
+        return scattered[rank]
+
+    def allreduce_sum(self, rank: int, value: float, tag: str = "allreduce") -> float:
+        """Sum a scalar contribution across ranks."""
+        return float(sum(self.allgather(rank, float(value), tag=f"{tag}:sum")))
+
+    # ------------------------------------------------------------------ #
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._size:
+            raise ValueError(f"rank {rank} outside communicator of size {self._size}")
+
+
+class RankContext:
+    """Per-rank view of a :class:`LocalCommunicator` (what a rank's code receives)."""
+
+    def __init__(self, comm: LocalCommunicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = int(rank)
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def barrier(self) -> None:
+        self.comm.barrier()
+
+    def allgather(self, value, tag: str = "allgather"):
+        return self.comm.allgather(self.rank, value, tag=tag)
+
+    def gather(self, value, root: int = 0, tag: str = "gather"):
+        return self.comm.gather(self.rank, value, root=root, tag=tag)
+
+    def bcast(self, value=None, root: int = 0, tag: str = "bcast"):
+        return self.comm.bcast(self.rank, value, root=root, tag=tag)
+
+    def scatter(self, values=None, root: int = 0, tag: str = "scatter"):
+        return self.comm.scatter(self.rank, values, root=root, tag=tag)
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        self.comm.send(obj, source=self.rank, dest=dest, tag=tag)
+
+    def recv(self, source: int, tag: int = 0):
+        return self.comm.recv(source=source, dest=self.rank, tag=tag)
+
+
+def run_spmd(fn: Callable[[RankContext], Any], size: int, use_threads: bool = True) -> list[Any]:
+    """Run ``fn(rank_context)`` on every rank of a new communicator.
+
+    Parameters
+    ----------
+    fn:
+        The SPMD program; receives a :class:`RankContext`.
+    size:
+        Number of ranks.
+    use_threads:
+        Run ranks on a thread pool (true MPI-style concurrency, required
+        when the program uses collectives). When ``False`` and the
+        program performs no collective communication, ranks run
+        sequentially, which is easier to debug.
+
+    Returns
+    -------
+    list of the per-rank return values, ordered by rank.
+    """
+    comm = LocalCommunicator(size)
+    contexts = [RankContext(comm, rank) for rank in range(size)]
+    if not use_threads:
+        return [fn(ctx) for ctx in contexts]
+    with ThreadPoolExecutor(max_workers=size) as pool:
+        futures = [pool.submit(fn, ctx) for ctx in contexts]
+        return [f.result() for f in futures]

@@ -1,0 +1,80 @@
+"""A small Gaussian process for the time-varying bandit in PB2.
+
+PB2 (Parker-Holder et al. 2020) models the change in objective as a
+time-varying function of the hyper-parameters and selects new values by
+maximizing a UCB acquisition.  This implementation uses a squared
+exponential kernel over the normalized hyper-parameter vector multiplied
+by an exponential decay in the time difference, which captures the
+"recent results matter more" structure of the time-varying GP bandit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TimeVaryingGP:
+    """GP regression over (hyper-parameter vector, time) pairs."""
+
+    def __init__(
+        self,
+        length_scale: float = 0.35,
+        time_decay: float = 0.9,
+        noise: float = 1e-2,
+        signal_variance: float = 1.0,
+    ) -> None:
+        if not 0 < time_decay <= 1:
+            raise ValueError("time_decay must be in (0, 1]")
+        self.length_scale = float(length_scale)
+        self.time_decay = float(time_decay)
+        self.noise = float(noise)
+        self.signal_variance = float(signal_variance)
+        self._x: np.ndarray | None = None
+        self._t: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # ------------------------------------------------------------------ #
+    def _kernel(self, x1: np.ndarray, t1: np.ndarray, x2: np.ndarray, t2: np.ndarray) -> np.ndarray:
+        sq = ((x1[:, None, :] - x2[None, :, :]) ** 2).sum(axis=-1)
+        spatial = self.signal_variance * np.exp(-0.5 * sq / self.length_scale**2)
+        temporal = self.time_decay ** np.abs(t1[:, None] - t2[None, :])
+        return spatial * temporal
+
+    def fit(self, x: np.ndarray, t: np.ndarray, y: np.ndarray) -> "TimeVaryingGP":
+        """Fit the GP on hyper-parameter vectors ``x``, times ``t`` and objectives ``y``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        t = np.asarray(t, dtype=np.float64).ravel()
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if len(x) != len(t) or len(x) != len(y):
+            raise ValueError("x, t and y must have matching lengths")
+        if len(y) == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        y_norm = (y - self._y_mean) / self._y_std
+        k = self._kernel(x, t, x, t) + self.noise * np.eye(len(y))
+        self._chol = np.linalg.cholesky(k + 1e-8 * np.eye(len(y)))
+        self._alpha = np.linalg.solve(self._chol.T, np.linalg.solve(self._chol, y_norm))
+        self._x, self._t = x, t
+        return self
+
+    def predict(self, x: np.ndarray, t: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at query points."""
+        if self._x is None:
+            raise RuntimeError("predict called before fit")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        t = np.asarray(t, dtype=np.float64).ravel()
+        k_star = self._kernel(x, t, self._x, self._t)
+        mean = k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        var = self.signal_variance - np.sum(v**2, axis=0)
+        var = np.maximum(var, 1e-12)
+        return mean * self._y_std + self._y_mean, np.sqrt(var) * self._y_std
+
+    def ucb(self, x: np.ndarray, t: np.ndarray, kappa: float = 1.5) -> np.ndarray:
+        """Upper-confidence-bound acquisition (maximize)."""
+        mean, std = self.predict(x, t)
+        return mean + kappa * std

@@ -1,0 +1,44 @@
+"""Random-search baseline for the ablation benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Trial, TrialState
+from repro.utils.rng import ensure_rng
+
+
+class RandomSearch:
+    """Sample ``num_trials`` configurations independently and keep the best.
+
+    This is the parallel-search baseline the paper contrasts with
+    sequential and population-based optimization (§2.2).  The evaluation
+    function receives a configuration and returns the objective
+    (validation MSE; lower is better).
+    """
+
+    def __init__(self, space: SearchSpace, num_trials: int = 16, seed: int = 0) -> None:
+        if num_trials <= 0:
+            raise ValueError("num_trials must be positive")
+        self.space = space
+        self.num_trials = int(num_trials)
+        self._rng = ensure_rng(seed)
+        self.trials: list[Trial] = []
+
+    def run(self, evaluate: Callable[[dict[str, Any]], float]) -> Trial:
+        """Evaluate every sampled configuration; return the best trial."""
+        self.trials = []
+        for trial_id in range(self.num_trials):
+            config = self.space.sample(self._rng)
+            trial = Trial(trial_id=trial_id, config=config, state=TrialState.RUNNING)
+            score = float(evaluate(config))
+            trial.report(epoch=1, score=score)
+            trial.state = TrialState.COMPLETED
+            self.trials.append(trial)
+        return self.best_trial()
+
+    def best_trial(self) -> Trial:
+        if not self.trials:
+            raise RuntimeError("run() has not been called")
+        return min(self.trials, key=lambda t: t.best_score)

@@ -1,0 +1,181 @@
+"""Hyper-parameter search spaces (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """A continuous hyper-parameter sampled uniformly (optionally in log space)."""
+
+    name: str
+    low: float
+    high: float
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log-uniform requires positive bounds")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
+
+    def clip(self, value: float) -> float:
+        return float(np.clip(value, self.low, self.high))
+
+    def to_unit(self, value: float) -> float:
+        """Map a value into [0, 1] for GP modelling."""
+        if self.log:
+            return float((np.log(value) - np.log(self.low)) / (np.log(self.high) - np.log(self.low)))
+        return float((value - self.low) / (self.high - self.low))
+
+    def from_unit(self, unit: float) -> float:
+        unit = float(np.clip(unit, 0.0, 1.0))
+        if self.log:
+            return float(np.exp(np.log(self.low) + unit * (np.log(self.high) - np.log(self.low))))
+        return float(self.low + unit * (self.high - self.low))
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A categorical hyper-parameter."""
+
+    name: str
+    options: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.options) == 0:
+            raise ValueError(f"{self.name}: options must be non-empty")
+
+    def sample(self, rng: np.random.Generator):
+        return self.options[int(rng.integers(0, len(self.options)))]
+
+
+@dataclass(frozen=True)
+class Boolean:
+    """A True/False hyper-parameter."""
+
+    name: str
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < 0.5)
+
+
+Dimension = Uniform | Choice | Boolean
+
+
+@dataclass
+class SearchSpace:
+    """A named collection of hyper-parameter dimensions."""
+
+    dimensions: dict[str, Dimension] = field(default_factory=dict)
+
+    def add(self, dimension: Dimension) -> "SearchSpace":
+        self.dimensions[dimension.name] = dimension
+        return self
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.dimensions
+
+    def __getitem__(self, name: str) -> Dimension:
+        return self.dimensions[name]
+
+    def names(self) -> list[str]:
+        return list(self.dimensions)
+
+    def continuous_names(self) -> list[str]:
+        """Names of the continuous dimensions (the ones PB2's GP explores)."""
+        return [n for n, d in self.dimensions.items() if isinstance(d, Uniform)]
+
+    def sample(self, rng=None) -> dict[str, Any]:
+        """Sample a full configuration."""
+        rng = ensure_rng(rng)
+        return {name: dim.sample(rng) for name, dim in self.dimensions.items()}
+
+    def clip(self, config: dict[str, Any]) -> dict[str, Any]:
+        """Clip continuous values into bounds; leave categorical values alone."""
+        out = dict(config)
+        for name, dim in self.dimensions.items():
+            if isinstance(dim, Uniform) and name in out:
+                out[name] = dim.clip(out[name])
+        return out
+
+    def to_unit_vector(self, config: dict[str, Any]) -> np.ndarray:
+        """Continuous dimensions of ``config`` as a [0, 1]^d vector (GP input)."""
+        return np.array([self.dimensions[n].to_unit(config[n]) for n in self.continuous_names()])
+
+    def from_unit_vector(self, vector: Sequence[float], base_config: dict[str, Any]) -> dict[str, Any]:
+        """Replace the continuous entries of ``base_config`` from a unit vector."""
+        out = dict(base_config)
+        for name, unit in zip(self.continuous_names(), vector):
+            out[name] = self.dimensions[name].from_unit(float(unit))
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Paper Table 1 search spaces
+# --------------------------------------------------------------------------- #
+def cnn3d_search_space() -> SearchSpace:
+    """3D-CNN column of Table 1."""
+    space = SearchSpace()
+    space.add(Choice("optimizer", ("adam",)))
+    space.add(Choice("activation", ("relu",)))
+    space.add(Choice("batch_size", (8, 12, 24)))
+    space.add(Uniform("learning_rate", 1e-6, 1e-4, log=True))
+    space.add(Uniform("epochs", 0, 150))
+    space.add(Boolean("batch_norm"))
+    space.add(Choice("dense_nodes", (40, 64, 88, 104, 128)))
+    space.add(Boolean("residual_option_1"))
+    space.add(Boolean("residual_option_2"))
+    space.add(Choice("conv_filters_1", (32, 64, 96)))
+    space.add(Choice("conv_filters_2", (64, 96, 128)))
+    space.add(Uniform("dropout1", 0.01, 0.5))
+    space.add(Uniform("dropout2", 0.01, 0.25))
+    return space
+
+
+def sgcnn_search_space() -> SearchSpace:
+    """SG-CNN column of Table 1."""
+    space = SearchSpace()
+    space.add(Choice("optimizer", ("adam",)))
+    space.add(Choice("activation", ("relu",)))
+    space.add(Choice("batch_size", (4, 8, 12, 16)))
+    space.add(Uniform("learning_rate", 2e-4, 2e-2, log=True))
+    space.add(Uniform("epochs", 0, 350))
+    space.add(Choice("covalent_k", (2, 3, 4, 5, 6, 7, 8)))
+    space.add(Choice("noncovalent_k", (2, 3, 4, 5, 6, 7, 8)))
+    space.add(Uniform("covalent_threshold", 1.2, 5.9))
+    space.add(Uniform("noncovalent_threshold", 1.2, 5.9))
+    space.add(Choice("covalent_gather_width", (8, 24, 40, 64, 88, 104, 128)))
+    space.add(Choice("noncovalent_gather_width", (8, 24, 40, 64, 88, 104, 128)))
+    return space
+
+
+def fusion_search_space() -> SearchSpace:
+    """Fusion column of Table 1 (Mid-level and Coherent Fusion)."""
+    space = SearchSpace()
+    space.add(Choice("optimizer", ("adam", "adamw", "rmsprop", "adadelta")))
+    space.add(Choice("activation", ("relu", "lrelu", "selu")))
+    space.add(Choice("batch_size", (1, 2, 4, 5, 8, 12, 16, 24, 28, 34, 38, 48, 56)))
+    space.add(Uniform("learning_rate", 1e-8, 1e-3, log=True))
+    space.add(Uniform("epochs", 0, 500))
+    space.add(Boolean("model_specific_layers"))
+    space.add(Boolean("pretrained"))
+    space.add(Boolean("batch_norm"))
+    space.add(Uniform("dropout1", 0.001, 0.50))
+    space.add(Uniform("dropout2", 0.001, 0.25))
+    space.add(Uniform("dropout3", 0.001, 0.125))
+    space.add(Choice("num_fusion_layers", (3, 4, 5)))
+    space.add(Choice("fusion_dense_nodes", (8, 24, 40, 64, 88, 104, 128)))
+    space.add(Boolean("residual_fusion_layers"))
+    return space

@@ -1,0 +1,151 @@
+"""Tune-style runner driving a population of real training trials.
+
+Plays the role of Ray Tune in the paper's training architecture (§3.2):
+it owns a population of trials (each a :class:`repro.models.train.Trainer`
+built from a sampled configuration), steps them epoch by epoch, reports
+validation MSE to the PB2/PBT scheduler, and applies exploit/explore
+decisions at every perturbation interval (``t_ready``, 100 epochs in the
+paper; a handful here).  The runner also emulates the LSF wall-time
+behaviour: training can be split into sessions, with the population state
+carried across session boundaries exactly as the paper's jobs were
+paused, rescheduled and resumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.hpo.pb2 import PB2Scheduler
+from repro.hpo.pbt import PBTScheduler
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Trial, TrialState
+from repro.models.train import Trainer
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TuneConfig:
+    """Runner options."""
+
+    population_size: int = 4
+    max_epochs: int = 8
+    perturbation_interval: int = 2
+    session_epoch_limit: int | None = None
+    seed: int = 0
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a population run."""
+
+    trials: list[Trial]
+    best_trial: Trial
+    best_config: dict[str, Any]
+    best_score: float
+    best_state_dict: dict[str, np.ndarray]
+    epochs_run: int
+    sessions: int = 1
+    exploit_events: list[tuple[int, int, int]] = field(default_factory=list)  # (epoch, trial, donor)
+
+
+class TuneRunner:
+    """Run population-based hyper-parameter optimization with real trainers."""
+
+    def __init__(
+        self,
+        trainer_factory: Callable[[dict[str, Any]], Trainer],
+        space: SearchSpace,
+        scheduler: PBTScheduler | PB2Scheduler | None = None,
+        config: TuneConfig | None = None,
+    ) -> None:
+        self.trainer_factory = trainer_factory
+        self.space = space
+        self.config = config or TuneConfig()
+        self.scheduler = scheduler or PB2Scheduler(space, seed=self.config.seed)
+        self._rng = ensure_rng(self.config.seed)
+        self.trials: list[Trial] = []
+        self.trainers: dict[int, Trainer] = {}
+        self.exploit_events: list[tuple[int, int, int]] = []
+        self._epoch = 0
+        self._sessions = 0
+
+    # ------------------------------------------------------------------ #
+    def _initialize_population(self) -> None:
+        if self.trials:
+            return
+        for trial_id in range(self.config.population_size):
+            config = self.space.sample(self._rng)
+            trial = Trial(trial_id=trial_id, config=config, state=TrialState.RUNNING)
+            self.trials.append(trial)
+            self.trainers[trial_id] = self.trainer_factory(config)
+
+    # ------------------------------------------------------------------ #
+    def step_epoch(self) -> None:
+        """Train every trial for one epoch, report scores, maybe exploit/explore."""
+        self._initialize_population()
+        self._epoch += 1
+        for trial in self.trials:
+            trainer = self.trainers[trial.trial_id]
+            previous = trial.score
+            trainer.train_epoch()
+            score = trainer.validate()
+            trial.report(self._epoch, score)
+            if isinstance(self.scheduler, PB2Scheduler):
+                self.scheduler.record_interval(trial, self._epoch, previous, score)
+
+        if self._epoch % self.config.perturbation_interval == 0:
+            self._perturb_population()
+
+    def _perturb_population(self) -> None:
+        for trial in list(self.trials):
+            if not self.scheduler.needs_perturbation(trial, self.trials):
+                continue
+            donor = self.scheduler.choose_donor(trial, self.trials)
+            if donor.trial_id == trial.trial_id:
+                continue
+            new_config = self.scheduler.explore(trial, donor, self.trials)
+            donor_trainer = self.trainers[donor.trial_id]
+            new_trainer = self.trainer_factory(new_config)
+            try:
+                new_trainer.model.load_state_dict(donor_trainer.model.state_dict())
+            except (KeyError, ValueError):
+                # architecture changed: keep fresh weights, configuration only
+                pass
+            self.trainers[trial.trial_id] = new_trainer
+            trial.config = dict(new_config)
+            trial.lineage.append(donor.trial_id)
+            trial.score = donor.score
+            self.exploit_events.append((self._epoch, trial.trial_id, donor.trial_id))
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> TuneResult:
+        """Run to ``max_epochs``, splitting into sessions if a wall limit is set."""
+        self._initialize_population()
+        limit = self.config.session_epoch_limit or self.config.max_epochs
+        while self._epoch < self.config.max_epochs:
+            self._sessions += 1
+            session_budget = min(limit, self.config.max_epochs - self._epoch)
+            for _ in range(session_budget):
+                self.step_epoch()
+            # at a session boundary the LSF job ends; population state (trials,
+            # trainer weights, scheduler observations) persists and the next
+            # session resumes from it.
+        return self._result()
+
+    def _result(self) -> TuneResult:
+        best = min(self.trials, key=lambda t: t.best_score)
+        for trial in self.trials:
+            trial.state = TrialState.COMPLETED
+        return TuneResult(
+            trials=self.trials,
+            best_trial=best,
+            best_config=dict(best.config),
+            best_score=float(best.best_score),
+            best_state_dict=self.trainers[best.trial_id].model.state_dict(),
+            epochs_run=self._epoch,
+            sessions=max(self._sessions, 1),
+            exploit_events=list(self.exploit_events),
+        )

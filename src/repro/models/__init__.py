@@ -1,0 +1,30 @@
+"""Binding-affinity models: 3D-CNN, SG-CNN and the three Fusion variants."""
+
+from repro.models.config import (
+    CNN3DConfig,
+    CoherentFusionConfig,
+    FusionConfig,
+    MidFusionConfig,
+    SGCNNConfig,
+)
+from repro.models.cnn3d import CNN3D
+from repro.models.sgcnn import SGCNN
+from repro.models.fusion import CoherentFusion, FusionNetwork, LateFusion, MidFusion
+from repro.models.train import TrainingHistory, Trainer, TrainerConfig
+
+__all__ = [
+    "CNN3DConfig",
+    "SGCNNConfig",
+    "FusionConfig",
+    "MidFusionConfig",
+    "CoherentFusionConfig",
+    "CNN3D",
+    "SGCNN",
+    "FusionNetwork",
+    "LateFusion",
+    "MidFusion",
+    "CoherentFusion",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+]

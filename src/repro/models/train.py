@@ -1,0 +1,196 @@
+"""Training loop shared by the individual heads, the fusion models and PB2 trials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.featurize.pipeline import FeaturizedComplex, collate_complexes
+from repro.models.fusion import FusionNetwork
+from repro.nn.dataloader import DataLoader, InMemoryDataset
+from repro.nn.loss import mse_loss
+from repro.nn.module import Module
+from repro.nn.optim import build_optimizer
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class TrainerConfig:
+    """Options of the generic training loop."""
+
+    epochs: int = 10
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    optimizer: str = "adam"
+    weight_decay: float = 0.0
+    shuffle: bool = True
+    num_workers: int = 0
+    grad_clip: float | None = 5.0
+    seed: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch losses recorded during training."""
+
+    train_losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_losses)
+
+    @property
+    def best_val_loss(self) -> float:
+        return float(min(self.val_losses)) if self.val_losses else float("nan")
+
+    @property
+    def best_epoch(self) -> int:
+        if not self.val_losses:
+            return -1
+        return int(np.argmin(self.val_losses))
+
+
+class Trainer:
+    """Train a binding-affinity model on featurized complexes.
+
+    Parameters
+    ----------
+    model:
+        Any model whose ``forward(batch)`` accepts the dict produced by
+        :func:`repro.featurize.collate_complexes` and returns a
+        ``(batch,)`` prediction tensor.
+    train_samples / val_samples:
+        Lists of :class:`FeaturizedComplex`.
+    config:
+        Loop options. PB2 mutates ``learning_rate`` / ``batch_size``
+        between perturbation intervals through
+        :meth:`set_hyperparameters`.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        train_samples: Sequence[FeaturizedComplex],
+        val_samples: Sequence[FeaturizedComplex] = (),
+        config: TrainerConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.train_samples = list(train_samples)
+        self.val_samples = list(val_samples)
+        if not self.train_samples:
+            raise ValueError("trainer requires at least one training sample")
+        self.history = TrainingHistory()
+        self._rng = spawn_rng(self.config.seed, "trainer")
+        self._calibrate_model()
+        self._build_optimizer()
+
+    # ------------------------------------------------------------------ #
+    def _calibrate_model(self) -> None:
+        """Centre the model's output on the training-label distribution."""
+        targets = np.array([s.target for s in self.train_samples], dtype=np.float64)
+        targets = targets[np.isfinite(targets)]
+        if targets.size >= 2 and hasattr(self.model, "calibrate_output"):
+            self.model.calibrate_output(float(targets.mean()), float(targets.std()))
+
+    def _trainable_parameters(self):
+        if isinstance(self.model, FusionNetwork):
+            return self.model.trainable_parameters()
+        return self.model.parameters()
+
+    def _build_optimizer(self) -> None:
+        kwargs = {}
+        if self.config.optimizer.lower() in ("adam", "adamw", "sgd"):
+            kwargs["weight_decay"] = self.config.weight_decay
+        self.optimizer = build_optimizer(
+            self.config.optimizer, self._trainable_parameters(), lr=self.config.learning_rate, **kwargs
+        )
+
+    def set_hyperparameters(self, learning_rate: float | None = None, batch_size: int | None = None) -> None:
+        """Adjust hyper-parameters mid-training (used by PB2 explore steps)."""
+        if learning_rate is not None:
+            if learning_rate <= 0:
+                raise ValueError("learning_rate must be positive")
+            self.config.learning_rate = float(learning_rate)
+            self.optimizer.lr = float(learning_rate)
+        if batch_size is not None:
+            if batch_size <= 0:
+                raise ValueError("batch_size must be positive")
+            self.config.batch_size = int(batch_size)
+
+    # ------------------------------------------------------------------ #
+    def _loader(self, samples: Sequence[FeaturizedComplex], shuffle: bool) -> DataLoader:
+        return DataLoader(
+            InMemoryDataset(samples),
+            batch_size=self.config.batch_size,
+            shuffle=shuffle,
+            num_workers=self.config.num_workers,
+            collate_fn=collate_complexes,
+            rng=self._rng,
+        )
+
+    def train_epoch(self) -> float:
+        """Run one epoch of optimization; returns the mean training MSE."""
+        self.model.train()
+        losses = []
+        for batch in self._loader(self.train_samples, shuffle=self.config.shuffle):
+            prediction = self.model(batch)
+            loss = mse_loss(prediction, Tensor(batch["target"]))
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.config.grad_clip is not None:
+                self._clip_gradients(self.config.grad_clip)
+            self.optimizer.step()
+            losses.append(loss.item())
+        return float(np.mean(losses))
+
+    def _clip_gradients(self, max_norm: float) -> None:
+        params = [p for p in self._trainable_parameters() if p.grad is not None]
+        if not params:
+            return
+        total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for p in params:
+                p.grad *= scale
+
+    def validate(self, samples: Sequence[FeaturizedComplex] | None = None) -> float:
+        """Mean squared error on the validation set (PB2's objective Q)."""
+        samples = self.val_samples if samples is None else list(samples)
+        if not samples:
+            return float("nan")
+        predictions = self.predict(samples)
+        targets = np.array([s.target for s in samples])
+        return float(np.mean((predictions - targets) ** 2))
+
+    def predict(self, samples: Sequence[FeaturizedComplex], batch_size: int | None = None) -> np.ndarray:
+        """Predict pK for ``samples`` without touching gradients."""
+        self.model.eval()
+        loader = DataLoader(
+            InMemoryDataset(list(samples)),
+            batch_size=batch_size or max(self.config.batch_size, 8),
+            shuffle=False,
+            collate_fn=collate_complexes,
+        )
+        outputs = []
+        with no_grad():
+            for batch in loader:
+                outputs.append(self.model(batch).numpy().copy())
+        return np.concatenate(outputs) if outputs else np.array([])
+
+    # ------------------------------------------------------------------ #
+    def fit(self, epochs: int | None = None, log_fn=None) -> TrainingHistory:
+        """Train for ``epochs`` (default: config.epochs) epochs."""
+        epochs = int(epochs if epochs is not None else self.config.epochs)
+        for epoch in range(epochs):
+            train_loss = self.train_epoch()
+            val_loss = self.validate()
+            self.history.train_losses.append(train_loss)
+            self.history.val_losses.append(val_loss)
+            if log_fn is not None:
+                log_fn(epoch, train_loss, val_loss)
+        return self.history

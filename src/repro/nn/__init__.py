@@ -1,0 +1,73 @@
+"""A small NumPy autograd engine and neural-network toolkit.
+
+This sub-package stands in for PyTorch / PyTorch-Geometric in the paper's
+stack.  It provides reverse-mode automatic differentiation over NumPy
+arrays (:class:`repro.nn.tensor.Tensor`), the layers needed by the FAST
+model family (3D convolutions, pooling, dense layers, batch
+normalization, dropout, gated graph convolutions and graph gather
+pooling), the optimizers explored by the PB2 search (Adam, AdamW,
+RMSprop, Adadelta, SGD), and data-loading utilities with parallel
+pre-fetch workers mirroring the paper's per-rank data loaders.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn import functional
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    SELU,
+    BatchNorm1d,
+    Conv3d,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool3d,
+    ReLU,
+    Residual,
+)
+from repro.nn.graph_layers import GatedGraphConv, GraphGather, GraphBatch
+from repro.nn.optim import SGD, Adadelta, Adam, AdamW, Optimizer, RMSprop, build_optimizer
+from repro.nn.loss import l1_loss, mse_loss
+from repro.nn.dataloader import DataLoader, Dataset, InMemoryDataset
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.schedules import ConstantLR, ExponentialDecayLR, StepLR
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv3d",
+    "MaxPool3d",
+    "BatchNorm1d",
+    "Dropout",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "SELU",
+    "Residual",
+    "GatedGraphConv",
+    "GraphGather",
+    "GraphBatch",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSprop",
+    "Adadelta",
+    "build_optimizer",
+    "mse_loss",
+    "l1_loss",
+    "Dataset",
+    "InMemoryDataset",
+    "DataLoader",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ConstantLR",
+    "StepLR",
+    "ExponentialDecayLR",
+]

@@ -1,0 +1,46 @@
+"""Model / optimizer checkpointing.
+
+Checkpoints serve two roles in the reproduction, exactly as in the
+paper: (1) pausing and resuming PB2 trials across the LSF wall-time
+limit, and (2) loading the individually pre-trained 3D-CNN and SG-CNN
+heads into the Coherent Fusion model (its ``Pre-trained = T``
+hyper-parameter).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.utils.serialization import load_npz_dict, save_npz_dict
+
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Serialize ``model`` (and optionally optimizer state) to ``path``."""
+    data = {f"model/{k}": v for k, v in model.state_dict().items()}
+    if optimizer is not None:
+        data.update({f"optim/{k}": v for k, v in optimizer.state_dict().items()})
+    save_npz_dict(path, data, meta=meta or {})
+
+
+def load_checkpoint(
+    path: str | os.PathLike,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    strict: bool = True,
+) -> dict[str, Any]:
+    """Load a checkpoint into ``model`` / ``optimizer`` and return its metadata."""
+    data, meta = load_npz_dict(path)
+    model_state = {k[len("model/"):]: v for k, v in data.items() if k.startswith("model/")}
+    model.load_state_dict(model_state, strict=strict)
+    if optimizer is not None:
+        optim_state = {k[len("optim/"):]: v for k, v in data.items() if k.startswith("optim/")}
+        optimizer.load_state_dict(optim_state)
+    return meta

@@ -1,0 +1,28 @@
+"""Loss functions. The paper's models are all trained with MSE on pK values."""
+
+from __future__ import annotations
+
+from repro.nn.tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error between predictions and targets."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error between predictions and targets."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss, useful as a robustness ablation against affinity label noise."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = abs_diff.clip(0.0, delta)
+    linear = abs_diff - quadratic
+    return (0.5 * quadratic * quadratic + delta * linear).mean()

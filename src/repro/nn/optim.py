@@ -1,0 +1,227 @@
+"""Optimizers explored by the PB2 hyper-parameter search (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding a parameter list and a learning rate.
+
+    The learning rate is exposed as a mutable attribute because PB2
+    perturbs it between perturbation intervals without rebuilding the
+    optimizer (the "learned schedule of hyper-parameters" the paper
+    credits for the final models).
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on the parameters."""
+        raise NotImplementedError
+
+    # -- state (for checkpoint / PB2 exploit) -------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return optimizer state (moment estimates etc.) keyed by slot name."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore optimizer state produced by :meth:`state_dict`."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+    def state_dict(self):
+        return {f"velocity/{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state):
+        for i in range(len(self._velocity)):
+            key = f"velocity/{i}"
+            if key in state:
+                self._velocity[i][...] = state[key]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2014)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _apply_weight_decay(self, p: Parameter, grad: np.ndarray) -> np.ndarray:
+        # classic (L2-coupled) weight decay; AdamW overrides.
+        if self.weight_decay:
+            return grad + self.weight_decay * p.data
+        return grad
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = self._apply_weight_decay(p, p.grad)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            if isinstance(self, AdamW) and self.weight_decay:
+                update = update + self.lr * self.weight_decay * p.data
+            p.data -= update
+
+    def state_dict(self):
+        state = {f"m/{i}": m.copy() for i, m in enumerate(self._m)}
+        state.update({f"v/{i}": v.copy() for i, v in enumerate(self._v)})
+        state["step"] = np.asarray(self.step_count)
+        return state
+
+    def load_state_dict(self, state):
+        for i in range(len(self._m)):
+            if f"m/{i}" in state:
+                self._m[i][...] = state[f"m/{i}"]
+            if f"v/{i}" in state:
+                self._v[i][...] = state[f"v/{i}"]
+        if "step" in state:
+            self.step_count = int(state["step"])
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter 2017)."""
+
+    def _apply_weight_decay(self, p: Parameter, grad: np.ndarray) -> np.ndarray:
+        # Decoupled: decay is applied directly to the weights in step().
+        return grad
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Graves 2013)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2, alpha: float = 0.99, eps: float = 1e-8) -> None:
+        super().__init__(params, lr)
+        self.alpha = float(alpha)
+        self.eps = float(eps)
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p, sq in zip(self.params, self._sq):
+            if p.grad is None:
+                continue
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * p.grad * p.grad
+            p.data -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+
+    def state_dict(self):
+        return {f"sq/{i}": s.copy() for i, s in enumerate(self._sq)}
+
+    def load_state_dict(self, state):
+        for i in range(len(self._sq)):
+            if f"sq/{i}" in state:
+                self._sq[i][...] = state[f"sq/{i}"]
+
+
+class Adadelta(Optimizer):
+    """Adadelta (Zeiler 2012; listed in the paper under Duchi et al. adaptive methods)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1.0, rho: float = 0.9, eps: float = 1e-6) -> None:
+        super().__init__(params, lr)
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self._acc_grad = [np.zeros_like(p.data) for p in self.params]
+        self._acc_delta = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p, acc_g, acc_d in zip(self.params, self._acc_grad, self._acc_delta):
+            if p.grad is None:
+                continue
+            acc_g *= self.rho
+            acc_g += (1.0 - self.rho) * p.grad * p.grad
+            delta = np.sqrt(acc_d + self.eps) / np.sqrt(acc_g + self.eps) * p.grad
+            acc_d *= self.rho
+            acc_d += (1.0 - self.rho) * delta * delta
+            p.data -= self.lr * delta
+
+    def state_dict(self):
+        state = {f"acc_grad/{i}": g.copy() for i, g in enumerate(self._acc_grad)}
+        state.update({f"acc_delta/{i}": d.copy() for i, d in enumerate(self._acc_delta)})
+        return state
+
+    def load_state_dict(self, state):
+        for i in range(len(self._acc_grad)):
+            if f"acc_grad/{i}" in state:
+                self._acc_grad[i][...] = state[f"acc_grad/{i}"]
+            if f"acc_delta/{i}" in state:
+                self._acc_delta[i][...] = state[f"acc_delta/{i}"]
+
+
+OPTIMIZERS = {
+    "sgd": SGD,
+    "adam": Adam,
+    "adamw": AdamW,
+    "rmsprop": RMSprop,
+    "adadelta": Adadelta,
+}
+
+
+def build_optimizer(name: str, params: Iterable[Parameter], lr: float, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by the lowercase names used in Table 1."""
+    key = name.lower()
+    if key not in OPTIMIZERS:
+        raise ValueError(f"unknown optimizer '{name}'; options: {sorted(OPTIMIZERS)}")
+    return OPTIMIZERS[key](params, lr=lr, **kwargs)

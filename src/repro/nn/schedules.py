@@ -1,0 +1,59 @@
+"""Learning-rate schedules.
+
+PB2 itself acts as a learned schedule over hyper-parameters, but fixed
+schedules are provided as baselines and for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.nn.optim import Optimizer
+
+
+class LRSchedule:
+    """Base class: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.compute_lr(self.epoch)
+        return self.optimizer.lr
+
+    def compute_lr(self, epoch: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Keep the learning rate fixed."""
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialDecayLR(LRSchedule):
+    """Exponential decay ``lr = base * gamma**epoch``."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = float(gamma)
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch

@@ -1,0 +1,28 @@
+"""High-throughput distributed Fusion screening pipeline."""
+
+from repro.screening.partition import partition_evenly, partition_poses_into_jobs
+from repro.screening.job import FusionScoringJob, JobResult
+from repro.screening.output import read_predictions, write_job_output
+from repro.screening.costfunction import CompoundCostFunction, CompoundScore
+from repro.screening.throughput import figure4_series, table7_rows
+from repro.screening.pipeline import CampaignConfig, CampaignResult, ScreeningCampaign
+from repro.screening.planner import CampaignPlan, CampaignPlanner, CampaignScheduleResult
+
+__all__ = [
+    "partition_evenly",
+    "partition_poses_into_jobs",
+    "FusionScoringJob",
+    "JobResult",
+    "write_job_output",
+    "read_predictions",
+    "CompoundCostFunction",
+    "CompoundScore",
+    "table7_rows",
+    "figure4_series",
+    "CampaignConfig",
+    "CampaignResult",
+    "ScreeningCampaign",
+    "CampaignPlan",
+    "CampaignPlanner",
+    "CampaignScheduleResult",
+]

@@ -1,0 +1,124 @@
+"""Compound-selection cost function.
+
+§5 of the paper: the Fusion prediction was one of three energy
+calculations (Vina, MM/GBSA, Fusion) combined by a hand-tailored cost
+function, together with drug-likeness / pharmacokinetic considerations,
+to decide which compounds to purchase for experimental evaluation.  The
+exact weights are in the companion biology paper; here a transparent
+weighted sum of normalized scores plus a drug-likeness bonus reproduces
+the role the cost function plays in the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.descriptors import compute_descriptors, lipinski_violations
+from repro.docking.conveyorlc import DockingDatabase
+
+
+@dataclass
+class CompoundScore:
+    """Combined score of one compound against one binding site."""
+
+    compound_id: str
+    site_name: str
+    combined: float
+    fusion_pk: float
+    vina_score: float
+    mmgbsa_score: float
+    qed_like: float
+    lipinski_violations: int
+
+
+@dataclass
+class CompoundCostFunction:
+    """Weighted combination of the three affinity estimates plus drug-likeness.
+
+    Attributes
+    ----------
+    fusion_weight / vina_weight / mmgbsa_weight:
+        Relative weights of the (z-score normalized) affinity estimates.
+        Vina and MM/GBSA scores are negated so that "larger is better"
+        uniformly.
+    druglikeness_weight:
+        Weight of the QED-like descriptor score.
+    lipinski_penalty:
+        Penalty per Lipinski violation.
+    """
+
+    fusion_weight: float = 0.5
+    vina_weight: float = 0.25
+    mmgbsa_weight: float = 0.25
+    druglikeness_weight: float = 0.35
+    lipinski_penalty: float = 0.25
+    normalize: bool = True
+    _stats: dict = field(default_factory=dict, init=False, repr=False)
+
+    # ------------------------------------------------------------------ #
+    def score_site(self, database: DockingDatabase, site_name: str) -> list[CompoundScore]:
+        """Score every compound docked against ``site_name``."""
+        compounds = database.compounds(site_name)
+        fusion, vina, mmgbsa, qed, lipinski = [], [], [], [], []
+        for compound_id in compounds:
+            best_vina = database.best_pose(site_name, compound_id, by="vina")
+            best_fusion = database.best_pose(site_name, compound_id, by="fusion")
+            best_mmgbsa = database.best_pose(site_name, compound_id, by="mmgbsa")
+            vina.append(best_vina.vina_score if best_vina else np.nan)
+            fusion.append(best_fusion.fusion_pk if best_fusion else np.nan)
+            mmgbsa.append(best_mmgbsa.mmgbsa_score if best_mmgbsa else np.nan)
+            reference = best_vina or best_fusion or best_mmgbsa
+            descriptors = compute_descriptors(reference.pose) if reference else {}
+            qed.append(descriptors.get("qed_like", 0.0))
+            lipinski.append(lipinski_violations(descriptors) if descriptors else 4)
+
+        fusion_n = self._normalize(np.array(fusion))
+        vina_n = self._normalize(-np.array(vina))  # lower (more negative) Vina = better
+        mmgbsa_n = self._normalize(-np.array(mmgbsa))
+        scores: list[CompoundScore] = []
+        for index, compound_id in enumerate(compounds):
+            combined = (
+                self.fusion_weight * fusion_n[index]
+                + self.vina_weight * vina_n[index]
+                + self.mmgbsa_weight * mmgbsa_n[index]
+                + self.druglikeness_weight * qed[index]
+                - self.lipinski_penalty * lipinski[index]
+            )
+            scores.append(
+                CompoundScore(
+                    compound_id=compound_id,
+                    site_name=site_name,
+                    combined=float(combined),
+                    fusion_pk=float(fusion[index]) if np.isfinite(fusion[index]) else float("nan"),
+                    vina_score=float(vina[index]) if np.isfinite(vina[index]) else float("nan"),
+                    mmgbsa_score=float(mmgbsa[index]) if np.isfinite(mmgbsa[index]) else float("nan"),
+                    qed_like=float(qed[index]),
+                    lipinski_violations=int(lipinski[index]),
+                )
+            )
+        return sorted(scores, key=lambda s: -s.combined)
+
+    def select_top(self, database: DockingDatabase, site_name: str, top_n: int) -> list[CompoundScore]:
+        """The ``top_n`` compounds a campaign would purchase for this site."""
+        if top_n <= 0:
+            raise ValueError("top_n must be positive")
+        return self.score_site(database, site_name)[: int(top_n)]
+
+    # ------------------------------------------------------------------ #
+    def _normalize(self, values: np.ndarray) -> np.ndarray:
+        """Z-score normalize, treating missing values as the mean (no contribution)."""
+        values = np.asarray(values, dtype=np.float64)
+        finite = np.isfinite(values)
+        if not self.normalize:
+            return np.where(finite, values, 0.0)
+        if finite.sum() < 2:
+            return np.zeros_like(values)
+        mean = values[finite].mean()
+        std = values[finite].std()
+        if std == 0:
+            return np.zeros_like(values)
+        out = (values - mean) / std
+        out[~finite] = 0.0
+        return out

@@ -1,0 +1,48 @@
+"""Job output format mirroring ConveyorLC's CDT3Docking layout.
+
+Each scoring job writes, per binding site, parallel arrays of compound
+identifiers, pose ids and predicted binding affinities, plus throughput
+metadata as attributes — the same information ConveyorLC emits, so the
+downstream selection tooling can consume physics and ML scores uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpc.h5store import H5Store
+
+
+def write_job_output(
+    store: H5Store,
+    site_name: str,
+    compound_ids: list[str],
+    pose_ids: list[int],
+    predictions: np.ndarray,
+    job_name: str = "job0",
+    timings: dict[str, float] | None = None,
+) -> None:
+    """Write one job's predictions for one site into ``store``."""
+    if not (len(compound_ids) == len(pose_ids) == len(predictions)):
+        raise ValueError("compound_ids, pose_ids and predictions must be aligned")
+    prefix = f"dock/{site_name}/{job_name}"
+    store.write(f"{prefix}/compound_ids", np.array(compound_ids, dtype="U"))
+    store.write(f"{prefix}/pose_ids", np.array(pose_ids, dtype=np.int64))
+    store.write(f"{prefix}/fusion_pk", np.asarray(predictions, dtype=np.float64))
+    for key, value in (timings or {}).items():
+        store.write_attr(prefix, key, float(value))
+
+
+def read_predictions(store: H5Store, site_name: str) -> dict[tuple[str, int], float]:
+    """Read every job's predictions for a site back into a dictionary."""
+    out: dict[tuple[str, int], float] = {}
+    prefix = f"dock/{site_name}"
+    for path, preds in store.datasets_under(prefix):
+        if not path.endswith("/fusion_pk"):
+            continue
+        base = path[: -len("/fusion_pk")]
+        ids = store.read(f"{base}/compound_ids")
+        poses = store.read(f"{base}/pose_ids")
+        for cid, pid, pred in zip(ids, poses, preds):
+            out[(str(cid), int(pid))] = float(pred)
+    return out

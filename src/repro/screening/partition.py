@@ -1,0 +1,45 @@
+"""Work partitioning across jobs and MPI ranks.
+
+The paper's screening formulation: the full pose set is cut into
+independent jobs of ~2 million poses (≈200,000 compounds); within a job,
+"we simply divide the set of compounds assigned to the job by the number
+of ranks and assign each rank the subset with its index".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def partition_evenly(items: Sequence[T], num_parts: int) -> list[list[T]]:
+    """Split ``items`` into ``num_parts`` contiguous chunks of near-equal size.
+
+    Sizes differ by at most one; empty chunks are produced when there are
+    more parts than items (a rank with no work still participates in the
+    collectives, as in the real MPI program).
+    """
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    items = list(items)
+    n = len(items)
+    base, extra = divmod(n, num_parts)
+    chunks: list[list[T]] = []
+    start = 0
+    for part in range(num_parts):
+        size = base + (1 if part < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def partition_poses_into_jobs(
+    items: Sequence[T],
+    poses_per_job: int = 2_000_000,
+) -> list[list[T]]:
+    """Split a pose list into independent jobs of at most ``poses_per_job`` poses."""
+    if poses_per_job <= 0:
+        raise ValueError("poses_per_job must be positive")
+    items = list(items)
+    return [items[start : start + poses_per_job] for start in range(0, len(items), poses_per_job)] or [[]]

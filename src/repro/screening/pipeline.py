@@ -1,0 +1,189 @@
+"""End-to-end SARS-CoV-2 screening campaign.
+
+Chains every stage of the paper's §4-§5 pipeline on the synthetic
+substrate: compound-library generation, ligand preparation, Vina docking
+and MM/GBSA rescoring (ConveyorLC), distributed Coherent Fusion scoring
+jobs, the compound cost function selecting candidates per binding site,
+and the simulated experimental assays producing percent-inhibition
+values for the retrospective analysis (Figures 5-7 and Table 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.complexes import InteractionModel, ProteinLigandComplex
+from repro.chem.protein import BindingSite, make_sarscov2_targets
+from repro.datasets.assays import CampaignAssayTable, make_assay_panel, simulate_campaign_assays
+from repro.datasets.libraries import build_screening_deck
+from repro.docking.ampl import AMPLSurrogate
+from repro.docking.conveyorlc import CDT3Docking, CDT4Mmgbsa, ConveyorLC, DockingDatabase
+from repro.featurize.pipeline import ComplexFeaturizer
+from repro.hpc.h5store import H5Store
+from repro.nn.module import Module
+from repro.screening.costfunction import CompoundCostFunction, CompoundScore
+from repro.screening.job import FusionScoringJob, JobResult
+from repro.screening.partition import partition_poses_into_jobs
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of a (scaled-down) screening campaign."""
+
+    library_counts: dict[str, int] = field(default_factory=lambda: {"emolecules": 24, "enamine": 24})
+    sites: dict[str, BindingSite] | None = None
+    poses_per_compound: int = 4
+    docking_mc_steps: int = 25
+    docking_restarts: int = 2
+    mmgbsa_subset_fraction: float = 1.0
+    poses_per_job: int = 200
+    nodes_per_job: int = 4
+    gpus_per_node: int = 4
+    batch_size_per_rank: int = 8
+    compounds_tested_per_site: int = 12
+    biology_penalty_mean: float = 2.6
+    seed: int = 2020
+
+
+@dataclass
+class CampaignResult:
+    """Everything the retrospective analysis needs."""
+
+    sites: dict[str, BindingSite]
+    database: DockingDatabase
+    selections: dict[str, list[CompoundScore]]
+    assays: CampaignAssayTable
+    job_results: list[JobResult]
+    stores: list[H5Store]
+    ampl_models: dict[str, AMPLSurrogate]
+    structural_pk: dict[str, dict[str, float]]  # site -> compound -> latent pK of best pose
+
+    def tested_compounds(self, site_name: str) -> list[str]:
+        return [score.compound_id for score in self.selections.get(site_name, [])]
+
+    def hit_rate(self, threshold: float = 33.0) -> float:
+        return self.assays.hit_rate(threshold)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "num_poses_scored": float(len(self.database)),
+            "num_sites": float(len(self.selections)),
+            "num_tested": float(sum(len(v) for v in self.selections.values())),
+            "hit_rate_33pct": self.hit_rate(33.0),
+        }
+
+
+class ScreeningCampaign:
+    """Run the full screening campaign with a trained fusion model."""
+
+    def __init__(
+        self,
+        model: Module,
+        featurizer: ComplexFeaturizer,
+        config: CampaignConfig | None = None,
+        cost_function: CompoundCostFunction | None = None,
+        interaction_model: InteractionModel | None = None,
+    ) -> None:
+        self.model = model
+        self.featurizer = featurizer
+        self.config = config or CampaignConfig()
+        self.cost_function = cost_function or CompoundCostFunction()
+        self.interaction_model = interaction_model or InteractionModel()
+
+    # ------------------------------------------------------------------ #
+    def run(self, use_threads: bool | None = None) -> CampaignResult:
+        cfg = self.config
+        sites = cfg.sites or make_sarscov2_targets(seed=derive_seed(cfg.seed, "targets"))
+
+        # 1. compound libraries and physics-based pipeline (ConveyorLC)
+        deck = build_screening_deck(cfg.library_counts, seed=cfg.seed)
+        conveyor = ConveyorLC(
+            docking=CDT3Docking(
+                num_poses=cfg.poses_per_compound,
+                monte_carlo_steps=cfg.docking_mc_steps,
+                restarts=cfg.docking_restarts,
+                seed=derive_seed(cfg.seed, "docking"),
+            ),
+            mmgbsa=CDT4Mmgbsa(subset_fraction=cfg.mmgbsa_subset_fraction, seed=derive_seed(cfg.seed, "mmgbsa")),
+        )
+        database = conveyor.run(list(sites.values()), deck.molecules, library="campaign")
+
+        # 2. distributed Fusion scoring: one or more jobs per site
+        job_results: list[JobResult] = []
+        stores: list[H5Store] = []
+        for site_name, site in sites.items():
+            site_records = [r for r in database.records() if r.site_name == site_name]
+            for job_index, job_records in enumerate(partition_poses_into_jobs(site_records, cfg.poses_per_job)):
+                if not job_records:
+                    continue
+                job = FusionScoringJob(
+                    model=self.model,
+                    featurizer=self.featurizer,
+                    site=site,
+                    records=job_records,
+                    num_nodes=cfg.nodes_per_job,
+                    gpus_per_node=cfg.gpus_per_node,
+                    batch_size_per_rank=cfg.batch_size_per_rank,
+                    job_name=f"{site_name}-job{job_index}",
+                )
+                result = job.run(use_threads=use_threads)
+                job_results.append(result)
+                stores.append(result.store)
+
+        # 3. AMPL MM/GBSA surrogates (per target) for the retrospective analysis
+        ampl_models = self._fit_ampl_models(database, sites)
+
+        # 4. compound selection per site (the hand-tailored cost function)
+        selections: dict[str, list[CompoundScore]] = {}
+        for site_name in sites:
+            selections[site_name] = self.cost_function.select_top(
+                database, site_name, cfg.compounds_tested_per_site
+            )
+
+        # 5. experimental follow-up: assay panel on the selected compounds
+        structural_pk: dict[str, dict[str, float]] = {}
+        tested: dict[str, list[tuple[str, float]]] = {}
+        for site_name, scores in selections.items():
+            site = sites[site_name]
+            structural_pk[site_name] = {}
+            tested[site_name] = []
+            for score in scores:
+                best = database.best_pose(site_name, score.compound_id, by="vina")
+                complex_ = ProteinLigandComplex(site, best.pose, complex_id=score.compound_id, pose_id=best.pose_id)
+                latent = self.interaction_model.true_pk(complex_)
+                structural_pk[site_name][score.compound_id] = latent
+                tested[site_name].append((score.compound_id, latent))
+        panel = make_assay_panel(
+            sites, seed=derive_seed(cfg.seed, "assays"), biology_penalty_mean=cfg.biology_penalty_mean
+        )
+        assays = simulate_campaign_assays(panel, tested)
+
+        return CampaignResult(
+            sites=sites,
+            database=database,
+            selections=selections,
+            assays=assays,
+            job_results=job_results,
+            stores=stores,
+            ampl_models=ampl_models,
+            structural_pk=structural_pk,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _fit_ampl_models(self, database: DockingDatabase, sites: dict[str, BindingSite]) -> dict[str, AMPLSurrogate]:
+        """Fit one AMPL surrogate per site on the MM/GBSA-rescored poses."""
+        models: dict[str, AMPLSurrogate] = {}
+        for site_name in sites:
+            ligands, scores = [], []
+            for compound_id in database.compounds(site_name):
+                best = database.best_pose(site_name, compound_id, by="mmgbsa")
+                if best is None or not np.isfinite(best.mmgbsa_score):
+                    continue
+                ligands.append(best.pose)
+                scores.append(best.mmgbsa_score)
+            if len(ligands) >= 3:
+                models[site_name] = AMPLSurrogate(target=site_name).fit(ligands, np.array(scores))
+        return models

@@ -1,0 +1,75 @@
+"""Throughput reporting: Table 7 rows and Figure 4 series."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hpc.performance import FusionThroughputModel
+
+
+def table7_rows(
+    model: FusionThroughputModel | None = None,
+    num_poses: int = 2_000_000,
+    num_nodes: int = 4,
+    batch_size_per_rank: int = 56,
+    peak_jobs: int = 125,
+) -> dict[str, dict[str, float]]:
+    """Reproduce the rows of Table 7: single-job and peak throughput."""
+    model = model or FusionThroughputModel()
+    single = model.estimate(num_poses=num_poses, num_nodes=num_nodes, batch_size_per_rank=batch_size_per_rank)
+    peak = model.peak_estimate(
+        parallel_jobs=peak_jobs,
+        num_poses_per_job=num_poses,
+        num_nodes_per_job=num_nodes,
+        batch_size_per_rank=batch_size_per_rank,
+    )
+    return {
+        "single_job": {
+            "avg_startup_minutes": single.startup_minutes,
+            "avg_evaluation_minutes": single.evaluation_minutes,
+            "avg_file_output_minutes": single.output_minutes,
+            "poses_per_second": single.poses_per_second,
+            "poses_per_hour": single.poses_per_hour,
+            "compounds_per_hour": single.compounds_per_hour,
+        },
+        "peak": {
+            "avg_startup_minutes": peak.startup_minutes,
+            "avg_evaluation_minutes": peak.evaluation_minutes,
+            "avg_file_output_minutes": peak.output_minutes,
+            "poses_per_second": peak.poses_per_second,
+            "poses_per_hour": peak.poses_per_hour,
+            "compounds_per_hour": peak.compounds_per_hour,
+        },
+    }
+
+
+def figure4_series(
+    model: FusionThroughputModel | None = None,
+    num_poses: int = 2_000_000,
+    node_counts: Sequence[int] = (1, 2, 4, 8),
+    batch_sizes: Sequence[int] = (12, 23, 56),
+) -> dict[int, list[tuple[int, float]]]:
+    """Strong-scaling series of Figure 4.
+
+    Returns ``{batch_size: [(nodes, total_minutes), ...]}`` — run time of a
+    single 2-million-pose job as a function of node count, one series per
+    per-rank batch size.
+    """
+    model = model or FusionThroughputModel()
+    series: dict[int, list[tuple[int, float]]] = {}
+    for batch in batch_sizes:
+        rows = []
+        for nodes in node_counts:
+            estimate = model.estimate(num_poses=num_poses, num_nodes=nodes, batch_size_per_rank=batch)
+            rows.append((int(nodes), float(estimate.total_minutes)))
+        series[int(batch)] = rows
+    return series
+
+
+def speedup_summary(model: FusionThroughputModel | None = None) -> dict[str, float]:
+    """Fusion-vs-physics speedups quoted in §4.2 (2.7x over Vina, 403x over MM/GBSA)."""
+    model = model or FusionThroughputModel()
+    return {
+        "fusion_vs_vina": model.speedup_vs_vina(),
+        "fusion_vs_mmgbsa": model.speedup_vs_mmgbsa(),
+    }

@@ -1,0 +1,24 @@
+"""Library-wide logging configuration."""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str, level: int = logging.WARNING) -> logging.Logger:
+    """Return a namespaced logger configured once with a stream handler.
+
+    The library never configures the root logger; applications remain in
+    control of global logging. Each ``repro.*`` logger gets a single
+    stream handler the first time it is requested.
+    """
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger

@@ -1,0 +1,69 @@
+"""Serialization helpers for checkpoints and experiment artifacts.
+
+Model checkpoints and screening outputs are stored as flat dictionaries
+of NumPy arrays.  ``numpy.savez`` provides a portable container; nested
+keys are flattened with ``"/"`` separators so that the same helpers can
+back both model checkpoints and the HDF5-like hierarchical store in
+:mod:`repro.hpc.h5store`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping
+
+import numpy as np
+
+
+def save_npz_dict(path: str | os.PathLike, data: Mapping[str, np.ndarray], meta: Mapping[str, Any] | None = None) -> None:
+    """Save ``data`` (a flat str->ndarray mapping) plus optional JSON metadata.
+
+    Parameters
+    ----------
+    path:
+        Output path; ``.npz`` is appended by NumPy if missing.
+    data:
+        Mapping of array name to array. Keys may contain ``"/"`` to encode
+        hierarchy.
+    meta:
+        Optional JSON-serializable metadata stored under the reserved key
+        ``__meta__``.
+    """
+    arrays = {_escape_key(k): np.asarray(v) for k, v in data.items()}
+    if meta is not None:
+        arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(os.fspath(path), **arrays)
+
+
+def load_npz_dict(path: str | os.PathLike) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Load a dictionary previously written by :func:`save_npz_dict`.
+
+    Returns
+    -------
+    (data, meta):
+        ``data`` maps original keys to arrays, ``meta`` is the stored
+        metadata dictionary (empty if none was written).
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as archive:
+        data: dict[str, np.ndarray] = {}
+        meta: dict[str, Any] = {}
+        for key in archive.files:
+            if key == "__meta__":
+                meta = json.loads(bytes(archive[key].tobytes()).decode("utf-8"))
+            else:
+                data[_unescape_key(key)] = archive[key]
+    return data, meta
+
+
+def _escape_key(key: str) -> str:
+    # np.savez forbids keys that collide with file names badly; slashes are fine
+    # inside zip members but keep them portable by substituting.
+    return key.replace("/", "__SLASH__")
+
+
+def _unescape_key(key: str) -> str:
+    return key.replace("__SLASH__", "/")

@@ -1,0 +1,84 @@
+"""Timing utilities used by throughput accounting and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """A simple accumulating stopwatch.
+
+    ``Timer`` is used by the screening job to break run time into the
+    startup / evaluation / output phases reported in the paper's Table 7.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t.section("startup"):
+    ...     pass
+    >>> "startup" in t.sections
+    True
+    """
+
+    def __init__(self) -> None:
+        self.sections: dict[str, float] = {}
+
+    def section(self, name: str) -> "_TimerSection":
+        """Return a context manager accumulating elapsed time under ``name``."""
+        return _TimerSection(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to section ``name`` (creating it if needed)."""
+        self.sections[name] = self.sections.get(name, 0.0) + float(seconds)
+
+    def total(self) -> float:
+        """Total seconds accumulated across all sections."""
+        return float(sum(self.sections.values()))
+
+    def as_dict(self) -> dict[str, float]:
+        """Copy of the per-section totals."""
+        return dict(self.sections)
+
+
+class _TimerSection:
+    def __init__(self, timer: Timer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerSection":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)
+
+
+@dataclass
+class WallClock:
+    """A virtual wall clock used by the simulated cluster and scheduler.
+
+    The simulated HPC components (LSF-like scheduler, MPI jobs, fault
+    injector) advance this clock with *modelled* durations rather than
+    real time, which lets the benchmarks reproduce multi-hour screening
+    campaigns in milliseconds while keeping the arithmetic of the
+    paper's timing tables intact.
+    """
+
+    now: float = 0.0
+    history: list[tuple[float, str]] = field(default_factory=list)
+
+    def advance(self, seconds: float, label: str = "") -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by a negative duration: {seconds}")
+        self.now += float(seconds)
+        if label:
+            self.history.append((self.now, label))
+        return self.now
+
+    def reset(self) -> None:
+        """Reset the clock to zero and clear history."""
+        self.now = 0.0
+        self.history.clear()

@@ -1,0 +1,46 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly by default)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    value = float(value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Validate ``array.shape`` against ``shape`` where ``None`` matches anything."""
+    array = np.asarray(array)
+    if len(array.shape) != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} dimensions, got shape {array.shape}")
+    for axis, (actual, expected) in enumerate(zip(array.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected axis {axis} to be {expected}"
+            )
+    return array

@@ -1,0 +1,189 @@
+"""Tests for the Vina scorer, pose generation, MM/GBSA, the AMPL surrogate and ConveyorLC."""
+
+import numpy as np
+import pytest
+
+from repro.chem.complexes import InteractionModel, ProteinLigandComplex
+from repro.docking.ampl import AMPLSurrogate
+from repro.docking.conveyorlc import (
+    CDT1Receptor,
+    CDT2Ligand,
+    CDT3Docking,
+    CDT4Mmgbsa,
+    ConveyorLC,
+    DockingDatabase,
+    DockingRecord,
+)
+from repro.docking.mmgbsa import MMGBSARescorer
+from repro.docking.poses import MaximizePkScorer, PoseGenerator, place_ligand_randomly, rmsd
+from repro.docking.vina import VinaScorer
+
+
+class TestVinaScorer:
+    def test_score_finite_and_deterministic(self, example_complex):
+        vina = VinaScorer()
+        s1, s2 = vina.score(example_complex), vina.score(example_complex)
+        assert s1 == s2
+        assert np.isfinite(s1)
+
+    def test_predicted_pk_sign_convention(self, example_complex):
+        vina = VinaScorer()
+        assert vina.predicted_pk(example_complex) == pytest.approx(-vina.score(example_complex) / 1.364)
+
+    def test_better_score_for_bound_pose(self, example_complex):
+        vina = VinaScorer(noise_scale=0.0)
+        far = example_complex.with_ligand(example_complex.ligand.translate([0, 0, 50.0]))
+        assert vina.score(example_complex) < vina.score(far)
+
+    def test_cost_model(self):
+        assert VinaScorer.cost_seconds(100, nodes=1) == pytest.approx(10.0)
+        assert VinaScorer.cost_seconds(100, nodes=2) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            VinaScorer.cost_seconds(10, nodes=0)
+
+
+class TestMMGBSA:
+    def test_rescoring_more_accurate_than_vina_on_average(self, tiny_pdbbind):
+        """MM/GBSA (lower systematic error) should correlate at least as well as Vina with the latent pK."""
+        vina, mmgbsa = VinaScorer(), MMGBSARescorer()
+        model = InteractionModel()
+        true, v, m = [], [], []
+        for entry in tiny_pdbbind.entries:
+            true.append(model.true_pk(entry.complex))
+            v.append(vina.predicted_pk(entry.complex))
+            m.append(mmgbsa.predicted_pk(entry.complex))
+        corr_v = np.corrcoef(true, v)[0, 1]
+        corr_m = np.corrcoef(true, m)[0, 1]
+        assert np.isfinite(corr_v) and np.isfinite(corr_m)
+        assert corr_m > 0.1  # MM/GBSA tracks the latent physics
+
+    def test_cost_is_orders_of_magnitude_larger_than_vina(self):
+        assert MMGBSARescorer.cost_seconds(10) > 100 * VinaScorer.cost_seconds(10)
+
+
+class TestPoseGeneration:
+    def test_place_ligand_randomly_inside_pocket(self, protease_site, prepared_ligands):
+        ligand = prepared_ligands[0].molecule
+        pose = place_ligand_randomly(protease_site, ligand, rng=np.random.default_rng(0))
+        assert np.linalg.norm(pose.centroid() - protease_site.center) < protease_site.radius + 5.0
+
+    def test_dock_returns_sorted_distinct_poses(self, protease_site, prepared_ligands):
+        generator = PoseGenerator(VinaScorer(), num_poses=4, monte_carlo_steps=15, restarts=2, seed=1)
+        poses = generator.dock(protease_site, prepared_ligands[0].molecule, complex_id="c0")
+        assert 1 <= len(poses) <= 4
+        scores = [p.score for p in poses]
+        assert scores == sorted(scores)
+        for a in poses:
+            for b in poses:
+                if a.pose_id != b.pose_id:
+                    assert rmsd(a.complex.ligand, b.complex.ligand) >= generator.min_pose_separation
+
+    def test_docking_improves_over_random_placement(self, protease_site, prepared_ligands):
+        scorer = VinaScorer(noise_scale=0.0)
+        ligand = prepared_ligands[1].molecule
+        random_pose = place_ligand_randomly(protease_site, ligand, rng=np.random.default_rng(5))
+        random_score = scorer.score(ProteinLigandComplex(protease_site, random_pose, "c"))
+        generator = PoseGenerator(scorer, num_poses=1, monte_carlo_steps=30, restarts=2, seed=2)
+        best = generator.dock(protease_site, ligand, complex_id="c")[0]
+        assert best.score <= random_score
+
+    def test_rmsd_to_reference_recorded(self, protease_site, prepared_ligands):
+        ligand = prepared_ligands[0].molecule
+        generator = PoseGenerator(VinaScorer(), num_poses=2, monte_carlo_steps=10, restarts=1, seed=3)
+        reference = place_ligand_randomly(protease_site, ligand, rng=np.random.default_rng(9))
+        poses = generator.dock(protease_site, ligand, complex_id="c", reference=reference)
+        assert all(np.isfinite(p.rmsd_to_reference) for p in poses)
+
+    def test_maximize_pk_scorer_adapter(self, example_complex, interaction_model):
+        adapter = MaximizePkScorer(interaction_model)
+        assert adapter.score(example_complex) == pytest.approx(-interaction_model.true_pk(example_complex))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoseGenerator(VinaScorer(), num_poses=0)
+
+
+class TestAMPLSurrogate:
+    def test_fit_predict_correlates_with_targets(self, molecules):
+        mmgbsa = MMGBSARescorer()
+        # build synthetic targets from descriptors to guarantee learnability
+        from repro.chem.descriptors import descriptor_vector
+
+        targets = np.array([descriptor_vector(m)[0] * -0.01 - 5.0 for m in molecules])
+        surrogate = AMPLSurrogate(target="protease1", alpha=0.1).fit(molecules, targets)
+        predictions = surrogate.predict_many(molecules)
+        assert np.corrcoef(predictions, targets)[0, 1] > 0.9
+        assert isinstance(surrogate.predict(molecules[0]), float)
+        importances = surrogate.feature_importances()
+        assert "molecular_weight" in importances
+
+    def test_fit_validation(self, molecules):
+        with pytest.raises(ValueError):
+            AMPLSurrogate().fit(molecules[:2], np.zeros(2))
+        with pytest.raises(ValueError):
+            AMPLSurrogate().fit(molecules, np.zeros(2))
+        with pytest.raises(RuntimeError):
+            AMPLSurrogate().predict(molecules[0])
+        with pytest.raises(ValueError):
+            AMPLSurrogate(alpha=0.0)
+
+
+class TestDockingDatabase:
+    def _record(self, site="s", compound="c", pose=0, vina=-5.0, pose_mol=None):
+        return DockingRecord(site_name=site, compound_id=compound, pose_id=pose, vina_score=vina, pose=pose_mol)
+
+    def test_add_query_best(self, prepared_ligands):
+        mol = prepared_ligands[0].molecule
+        db = DockingDatabase()
+        db.add(self._record(pose=0, vina=-5.0, pose_mol=mol))
+        db.add(self._record(pose=1, vina=-7.0, pose_mol=mol))
+        db.add(self._record(compound="d", pose=0, vina=-2.0, pose_mol=mol))
+        assert len(db) == 3
+        assert db.compounds("s") == ["c", "d"]
+        assert db.best_pose("s", "c", by="vina").pose_id == 1
+        assert db.best_pose("s", "c", by="mmgbsa") is None
+        record = db.best_pose("s", "c", by="vina")
+        record.fusion_pk = 8.0
+        assert db.best_pose("s", "c", by="fusion").pose_id == 1
+        with pytest.raises(ValueError):
+            db.best_pose("s", "c", by="unknown")
+
+    def test_merge(self, prepared_ligands):
+        mol = prepared_ligands[0].molecule
+        a, b = DockingDatabase(), DockingDatabase()
+        a.add(self._record(pose=0, pose_mol=mol))
+        b.add(self._record(pose=1, pose_mol=mol))
+        a.merge(b)
+        assert len(a) == 2
+
+
+class TestConveyorLC:
+    def test_full_pipeline(self, sarscov2_sites, molecules):
+        sites = [sarscov2_sites["spike1"]]
+        conveyor = ConveyorLC(
+            docking=CDT3Docking(num_poses=2, monte_carlo_steps=8, restarts=1, seed=0),
+            mmgbsa=CDT4Mmgbsa(max_poses=2, subset_fraction=1.0),
+        )
+        database = conveyor.run(sites, molecules[:3], library="test")
+        assert database.sites() == ["spike1"]
+        assert len(database.compounds("spike1")) >= 2
+        # every rescored record has a finite MM/GBSA score
+        rescored = [r for r in database if np.isfinite(r.mmgbsa_score)]
+        assert len(rescored) > 0
+        assert conveyor.modelled_cost_seconds > 0
+
+    def test_receptor_stage_validation(self):
+        from repro.chem.protein import BindingSite, PocketFamily
+
+        empty = BindingSite(name="empty", target="t", atoms=[], family=PocketFamily(1))
+        with pytest.raises(ValueError):
+            CDT1Receptor().run([empty])
+
+    def test_ligand_stage_uses_prep(self, molecules):
+        stage = CDT2Ligand()
+        prepared = stage.run(molecules[:2], library="lib")
+        assert len(prepared) <= 2
+
+    def test_mmgbsa_subset_fraction_validation(self):
+        with pytest.raises(ValueError):
+            CDT4Mmgbsa(subset_fraction=0.0)

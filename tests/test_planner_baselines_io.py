@@ -1,0 +1,127 @@
+"""Tests for the campaign planner, the grid/Bayesian HPO baselines and PDB structure I/O."""
+
+import numpy as np
+import pytest
+
+from repro.chem.structure_io import complex_to_pdb, molecule_to_pdb, pdb_to_molecule
+from repro.hpo.baselines import BayesianOptimizer, GridSearch
+from repro.hpo.space import Boolean, Choice, SearchSpace, Uniform
+from repro.screening.planner import CampaignPlanner
+
+
+class TestCampaignPlanner:
+    def test_paper_scale_plan_arithmetic(self):
+        planner = CampaignPlanner(cluster_nodes=500)
+        plan = planner.plan(num_compounds=500_000_000, num_targets=4, poses_per_compound=10, poses_per_job=2_000_000)
+        # "over 5 billion docking poses were generated and evaluated"
+        assert plan.total_poses == 20_000_000_000
+        assert plan.total_poses > 5_000_000_000
+        assert plan.num_jobs == 10_000
+        assert plan.nodes_per_job == 4
+        summary = planner.paper_campaign_summary()
+        assert summary["total_poses_billions"] == pytest.approx(20.0)
+        assert summary["single_job_hours"] == pytest.approx(5.1, abs=0.6)
+        assert summary["peak_poses_per_second"] > 10_000
+
+    def test_schedule_sampled_jobs_and_projection(self):
+        planner = CampaignPlanner(cluster_nodes=64)
+        plan = planner.plan(num_compounds=2_000_000, num_targets=2, poses_per_compound=5, poses_per_job=500_000)
+        result = planner.schedule(plan, max_jobs_simulated=12, seed=1)
+        assert result.jobs_scheduled == 12
+        assert result.jobs_completed == 12  # requeueing recovers failures
+        assert result.wall_clock_hours > 0
+        assert result.scaling_factor == pytest.approx(plan.num_jobs / 12)
+        assert result.projected_wall_clock_hours >= result.wall_clock_hours
+        assert result.projected_node_hours >= result.node_hours
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignPlanner(cluster_nodes=0)
+        planner = CampaignPlanner(cluster_nodes=8)
+        with pytest.raises(ValueError):
+            planner.plan(num_compounds=0)
+        with pytest.raises(ValueError):
+            planner.schedule(planner.plan(num_compounds=10, poses_per_job=5), max_jobs_simulated=0)
+
+
+class TestGridSearch:
+    def _space(self):
+        space = SearchSpace()
+        space.add(Uniform("x", 0.001, 1.0))
+        space.add(Choice("mode", ("a", "b")))
+        space.add(Boolean("flag"))
+        return space
+
+    def test_grid_size_and_coverage(self):
+        search = GridSearch(self._space(), points_per_dimension=3)
+        grid = search.grid()
+        assert len(grid) == 3 * 2 * 2
+        assert {g["mode"] for g in grid} == {"a", "b"}
+
+    def test_run_finds_best_grid_point(self):
+        search = GridSearch(self._space(), points_per_dimension=5)
+        best = search.run(lambda cfg: (cfg["x"] - 0.5) ** 2 + (0.0 if cfg["mode"] == "a" else 1.0))
+        assert best.config["mode"] == "a"
+        assert abs(best.config["x"] - 0.5) < 0.26
+        assert len(search.trials) == 5 * 2 * 2
+
+    def test_log_dimension_grid(self):
+        space = SearchSpace().add(Uniform("lr", 1e-6, 1e-2, log=True))
+        grid = GridSearch(space, points_per_dimension=5).grid()
+        values = sorted(g["lr"] for g in grid)
+        assert values[0] == pytest.approx(1e-6)
+        assert values[-1] == pytest.approx(1e-2)
+        # log spacing: constant ratio between consecutive points
+        ratios = [values[i + 1] / values[i] for i in range(4)]
+        assert max(ratios) / min(ratios) < 1.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridSearch(self._space(), points_per_dimension=1)
+
+
+class TestBayesianOptimizer:
+    def test_optimizes_smooth_objective(self):
+        space = SearchSpace().add(Uniform("x", 0.001, 1.0)).add(Uniform("y", 0.001, 1.0))
+        optimizer = BayesianOptimizer(space, num_initial=4, num_iterations=10, seed=0)
+        best = optimizer.run(lambda cfg: (cfg["x"] - 0.7) ** 2 + (cfg["y"] - 0.2) ** 2)
+        assert best.best_score < 0.15
+        assert len(optimizer.trials) == 14
+
+    def test_handles_categorical_only_space(self):
+        space = SearchSpace().add(Choice("mode", ("a", "b", "c")))
+        optimizer = BayesianOptimizer(space, num_initial=2, num_iterations=4, seed=1)
+        best = optimizer.run(lambda cfg: {"a": 3.0, "b": 1.0, "c": 2.0}[cfg["mode"]])
+        assert best.best_score <= 2.0
+
+    def test_validation(self):
+        space = SearchSpace().add(Uniform("x", 0.0 + 1e-6, 1.0))
+        with pytest.raises(ValueError):
+            BayesianOptimizer(space, num_initial=0)
+
+
+class TestStructureIO:
+    def test_molecule_roundtrip(self, prepared_ligands):
+        molecule = prepared_ligands[0].molecule
+        text = molecule_to_pdb(molecule)
+        assert text.count("HETATM") == molecule.num_atoms
+        assert text.count("CONECT") == molecule.num_bonds
+        parsed = pdb_to_molecule(text, name="roundtrip")
+        assert parsed.num_atoms == molecule.num_atoms
+        assert parsed.num_bonds == molecule.num_bonds
+        np.testing.assert_allclose(parsed.coordinates, molecule.coordinates, atol=1e-3)
+        assert [a.element for a in parsed.atoms] == [a.element for a in molecule.atoms]
+
+    def test_complex_export_contains_both_chains(self, example_complex):
+        text = complex_to_pdb(example_complex, title="demo")
+        assert text.startswith("TITLE")
+        assert " P" in text and " L" in text
+        assert "POC" in text and "LIG" in text
+        assert text.rstrip().endswith("END")
+        # pocket atoms use ATOM records, ligand uses HETATM
+        assert "ATOM" in text and "HETATM" in text
+
+    def test_pocket_atom_count_matches(self, example_complex):
+        text = complex_to_pdb(example_complex)
+        atom_lines = [l for l in text.splitlines() if l.startswith(("ATOM", "HETATM"))]
+        assert len(atom_lines) == example_complex.site.num_atoms + example_complex.ligand.num_atoms
