@@ -20,6 +20,7 @@ Sub-packages
 ``repro.hpo``          PB2 population-based bandit hyper-parameter optimization.
 ``repro.hpc``          Simulated cluster, LSF scheduler, MPI/Horovod, HDF5 store.
 ``repro.screening``    Distributed fusion scoring jobs and campaign pipeline.
+``repro.serving``      Online scoring service: micro-batching, replicas, cache.
 ``repro.eval``         Metrics, classification analyses, report rendering.
 ``repro.experiments``  Drivers regenerating every paper table and figure.
 """

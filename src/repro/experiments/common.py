@@ -8,6 +8,7 @@ table/figure driver and benchmark reuses the same ``Workbench``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -103,8 +104,14 @@ class Workbench:
         return trainer.predict(samples)
 
 
+#: In-process caches of the expensive artefacts.  Guarded by per-cache
+#: locks: the serving worker pool made concurrent callers possible, and a
+#: lock held across the build also guarantees concurrent requests for the
+#: same key build the artefact exactly once.
 _WORKBENCH_CACHE: dict[tuple, Workbench] = {}
+_WORKBENCH_LOCK = threading.RLock()
 _CAMPAIGN_CACHE: dict[tuple, CampaignResult] = {}
+_CAMPAIGN_LOCK = threading.RLock()
 
 
 def build_workbench(scale: WorkbenchScale | str = "small", seed: int | None = None, cache: bool = True) -> Workbench:
@@ -114,9 +121,16 @@ def build_workbench(scale: WorkbenchScale | str = "small", seed: int | None = No
     if seed is not None:
         scale.seed = int(seed)
     key = tuple(sorted(vars(scale).items()))
-    if cache and key in _WORKBENCH_CACHE:
-        return _WORKBENCH_CACHE[key]
+    with _WORKBENCH_LOCK:
+        if cache and key in _WORKBENCH_CACHE:
+            return _WORKBENCH_CACHE[key]
+        workbench = _build_workbench(scale)
+        if cache:
+            _WORKBENCH_CACHE[key] = workbench
+        return workbench
 
+
+def _build_workbench(scale: WorkbenchScale) -> Workbench:
     logger.info("building workbench at scale %s", scale)
     config = PDBbindConfig(
         n_general=scale.n_general,
@@ -199,8 +213,6 @@ def build_workbench(scale: WorkbenchScale | str = "small", seed: int | None = No
         coherent_fusion=coherent,
         histories=histories,
     )
-    if cache:
-        _WORKBENCH_CACHE[key] = workbench
     return workbench
 
 
@@ -229,22 +241,23 @@ def run_campaign(
     library_counts = library_counts or {"emolecules": 30, "enamine": 30, "zinc_world_approved": 12}
     key = (tuple(sorted(library_counts.items())), compounds_tested_per_site, poses_per_compound, seed,
            tuple(sorted(vars(workbench.scale).items())))
-    if cache and key in _CAMPAIGN_CACHE:
-        return _CAMPAIGN_CACHE[key]
-    config = CampaignConfig(
-        library_counts=library_counts,
-        poses_per_compound=poses_per_compound,
-        compounds_tested_per_site=compounds_tested_per_site,
-        seed=seed,
-    )
-    campaign = ScreeningCampaign(
-        model=workbench.coherent_fusion,
-        featurizer=workbench.featurizer,
-        config=config,
-        cost_function=CompoundCostFunction(),
-        interaction_model=workbench.interaction_model,
-    )
-    result = campaign.run()
-    if cache:
-        _CAMPAIGN_CACHE[key] = result
-    return result
+    with _CAMPAIGN_LOCK:
+        if cache and key in _CAMPAIGN_CACHE:
+            return _CAMPAIGN_CACHE[key]
+        config = CampaignConfig(
+            library_counts=library_counts,
+            poses_per_compound=poses_per_compound,
+            compounds_tested_per_site=compounds_tested_per_site,
+            seed=seed,
+        )
+        campaign = ScreeningCampaign(
+            model=workbench.coherent_fusion,
+            featurizer=workbench.featurizer,
+            config=config,
+            cost_function=CompoundCostFunction(),
+            interaction_model=workbench.interaction_model,
+        )
+        result = campaign.run()
+        if cache:
+            _CAMPAIGN_CACHE[key] = result
+        return result

@@ -25,8 +25,11 @@ from repro.hpc.h5store import H5Store
 from repro.nn.module import Module
 from repro.screening.costfunction import CompoundCostFunction, CompoundScore
 from repro.screening.job import FusionScoringJob, JobResult
+from repro.screening.output import write_job_output
 from repro.screening.partition import partition_poses_into_jobs
+from repro.serving import ScoringService, ServingConfig
 from repro.utils.rng import derive_seed
+from repro.utils.timer import Timer
 
 
 @dataclass
@@ -46,6 +49,10 @@ class CampaignConfig:
     compounds_tested_per_site: int = 12
     biology_penalty_mean: float = 2.6
     seed: int = 2020
+    #: route candidate rescoring through the online ``repro.serving`` service
+    #: (micro-batching + replica pool + result cache) instead of batch jobs
+    use_serving: bool = False
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
 
 @dataclass
@@ -111,27 +118,31 @@ class ScreeningCampaign:
         )
         database = conveyor.run(list(sites.values()), deck.molecules, library="campaign")
 
-        # 2. distributed Fusion scoring: one or more jobs per site
+        # 2. Fusion scoring: batch jobs per site, or the online serving path
         job_results: list[JobResult] = []
         stores: list[H5Store] = []
-        for site_name, site in sites.items():
-            site_records = [r for r in database.records() if r.site_name == site_name]
-            for job_index, job_records in enumerate(partition_poses_into_jobs(site_records, cfg.poses_per_job)):
-                if not job_records:
-                    continue
-                job = FusionScoringJob(
-                    model=self.model,
-                    featurizer=self.featurizer,
-                    site=site,
-                    records=job_records,
-                    num_nodes=cfg.nodes_per_job,
-                    gpus_per_node=cfg.gpus_per_node,
-                    batch_size_per_rank=cfg.batch_size_per_rank,
-                    job_name=f"{site_name}-job{job_index}",
-                )
-                result = job.run(use_threads=use_threads)
-                job_results.append(result)
-                stores.append(result.store)
+        if cfg.use_serving:
+            job_results = self._score_sites_online(database, sites)
+            stores = [result.store for result in job_results]
+        else:
+            for site_name, site in sites.items():
+                site_records = [r for r in database.records() if r.site_name == site_name]
+                for job_index, job_records in enumerate(partition_poses_into_jobs(site_records, cfg.poses_per_job)):
+                    if not job_records:
+                        continue
+                    job = FusionScoringJob(
+                        model=self.model,
+                        featurizer=self.featurizer,
+                        site=site,
+                        records=job_records,
+                        num_nodes=cfg.nodes_per_job,
+                        gpus_per_node=cfg.gpus_per_node,
+                        batch_size_per_rank=cfg.batch_size_per_rank,
+                        job_name=f"{site_name}-job{job_index}",
+                    )
+                    result = job.run(use_threads=use_threads)
+                    job_results.append(result)
+                    stores.append(result.store)
 
         # 3. AMPL MM/GBSA surrogates (per target) for the retrospective analysis
         ampl_models = self._fit_ampl_models(database, sites)
@@ -171,6 +182,59 @@ class ScreeningCampaign:
             ampl_models=ampl_models,
             structural_pk=structural_pk,
         )
+
+    # ------------------------------------------------------------------ #
+    def _score_sites_online(
+        self, database: DockingDatabase, sites: dict[str, BindingSite]
+    ) -> list[JobResult]:
+        """Rescore every site's poses through one shared ``ScoringService``.
+
+        One service (and therefore one warm result cache) spans all sites,
+        so repeated poses — e.g. a campaign re-run after adding compounds —
+        cost nothing.  Each site still produces a ``JobResult`` with the
+        store layout the retrospective analysis expects.
+        """
+        cfg = self.config
+        job_results: list[JobResult] = []
+        with ScoringService(model=self.model, featurizer=self.featurizer, config=cfg.serving) as service:
+            for site_name, site in sites.items():
+                site_records = [r for r in database.records() if r.site_name == site_name]
+                if not site_records:
+                    continue
+                timer = Timer()
+                with timer.section("evaluation"):
+                    complexes = [
+                        ProteinLigandComplex(
+                            site=site, ligand=r.pose, complex_id=r.compound_id, pose_id=r.pose_id
+                        )
+                        for r in site_records
+                    ]
+                    responses = service.score_many(complexes)
+                store = H5Store()
+                with timer.section("output"):
+                    write_job_output(
+                        store,
+                        site_name,
+                        [r.complex_id for r in responses],
+                        [r.pose_id for r in responses],
+                        np.array([r.score for r in responses]),
+                        job_name=f"{site_name}-serving",
+                        timings=timer.as_dict(),
+                    )
+                predictions = {(r.complex_id, r.pose_id): r.score for r in responses}
+                for record in site_records:
+                    record.fusion_pk = predictions[(record.compound_id, record.pose_id)]
+                job_results.append(
+                    JobResult(
+                        job_name=f"{site_name}-serving",
+                        site_name=site_name,
+                        predictions=predictions,
+                        store=store,
+                        timings=timer.as_dict(),
+                        num_ranks=service.pool.num_replicas,
+                    )
+                )
+        return job_results
 
     # ------------------------------------------------------------------ #
     def _fit_ampl_models(self, database: DockingDatabase, sites: dict[str, BindingSite]) -> dict[str, AMPLSurrogate]:

@@ -1,0 +1,132 @@
+"""Dynamic micro-batching of queued scoring requests.
+
+Online traffic arrives one request at a time, but the fusion models are
+far more efficient on batches (one voxel stack, one batched graph).  The
+micro-batcher bridges the two regimes: admitted requests accumulate in a
+bounded queue, and a consumer drains them in batches that close as soon
+as either ``max_batch_size`` requests are waiting or the oldest request
+has waited ``max_wait_s`` — the classic latency/throughput trade-off dial
+of online inference servers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.featurize.pipeline import FeaturizedComplex, collate_complexes
+
+
+class QueueClosed(RuntimeError):
+    """Raised when putting into a batcher that has been closed."""
+
+
+@dataclass
+class MicroBatch:
+    """One coalesced batch handed to a model replica.
+
+    ``items`` are opaque work units (the service enqueues request/sample
+    pairs); ``oldest_wait_s`` is how long the head-of-line item waited in
+    the queue before the batch closed, i.e. the queueing component of its
+    latency.
+    """
+
+    items: list = field(default_factory=list)
+    oldest_wait_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class MicroBatcher:
+    """Bounded request queue with size- and deadline-triggered batching.
+
+    Parameters
+    ----------
+    max_batch_size:
+        A batch closes immediately once this many items are queued.
+    max_wait_s:
+        A batch with at least one item closes at most this long after its
+        first item arrived, even if under-full.
+    capacity:
+        Bound on queued items; :meth:`put` refuses beyond it, which is
+        the service's backpressure signal.
+    """
+
+    def __init__(self, max_batch_size: int = 8, max_wait_s: float = 0.002, capacity: int = 64) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be non-negative, got {max_wait_s}")
+        if capacity < max_batch_size:
+            raise ValueError("capacity must be at least max_batch_size")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.capacity = int(capacity)
+        self._queue: deque[tuple[float, object]] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def put(self, item) -> bool:
+        """Enqueue one work item; returns False when the queue is full."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("cannot enqueue into a closed batcher")
+            if len(self._queue) >= self.capacity:
+                return False
+            self._queue.append((time.perf_counter(), item))
+            self._cond.notify_all()
+            return True
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Stop admitting work; queued items can still be drained."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def next_batch(self) -> MicroBatch | None:
+        """Block until a batch is ready; ``None`` once closed and drained.
+
+        The wait has two phases: wait (indefinitely) for the first item,
+        then hold the batch open until it fills or the first item's
+        ``max_wait_s`` deadline passes.
+        """
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            deadline = self._queue[0][0] + self.max_wait_s
+            while len(self._queue) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+                if not self._queue:
+                    # a competing consumer drained the queue while we slept
+                    return self.next_batch()
+            now = time.perf_counter()
+            batch = MicroBatch(oldest_wait_s=max(now - self._queue[0][0], 0.0))
+            while self._queue and len(batch.items) < self.max_batch_size:
+                batch.items.append(self._queue.popleft()[1])
+            self._cond.notify_all()
+            return batch
+
+
+def collate_request_batch(samples: Sequence[FeaturizedComplex]) -> dict:
+    """Collate featurized requests with the training/scoring-job collate.
+
+    Reusing :func:`repro.featurize.pipeline.collate_complexes` guarantees
+    the online path feeds models byte-identical batch structures to the
+    offline scoring jobs.
+    """
+    return collate_complexes(list(samples))

@@ -1,0 +1,131 @@
+"""Serving-side observability: latency percentiles, throughput, occupancy.
+
+The online service treats sustained requests/s as a first-class contract
+(the same way the paper's Table 7 treats poses/s for the batch jobs), so
+every completed request feeds a small lock-protected accumulator that can
+produce a snapshot at any time without stopping traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MetricsSnapshot:
+    """Point-in-time summary of service behaviour since the last reset."""
+
+    submitted: int
+    completed: int
+    rejected: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    requests_per_second: float
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    num_batches: int
+    mean_batch_size: float
+    batch_occupancy: float
+    elapsed_s: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {key: float(value) for key, value in vars(self).items()}
+
+
+class ServingMetrics:
+    """Thread-safe counters and reservoirs for the scoring service.
+
+    Parameters
+    ----------
+    max_batch_size:
+        The batcher's capacity, used to convert observed batch sizes into
+        an occupancy fraction (1.0 = every batch left the batcher full).
+    max_samples:
+        Cap on the retained per-request latencies / per-batch sizes; once
+        full the reservoirs stop growing and percentiles describe the
+        first ``max_samples`` observations (ample for the in-process
+        scale this reproduction runs at).
+    """
+
+    def __init__(self, max_batch_size: int = 1, max_samples: int = 100_000) -> None:
+        self.max_batch_size = max(int(max_batch_size), 1)
+        self.max_samples = int(max_samples)
+        self._lock = threading.Lock()
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        with self._lock:
+            self._submitted = 0
+            self._completed = 0
+            self._rejected = 0
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._latencies: list[float] = []
+            self._batch_sizes: list[int] = []
+            self._started = time.perf_counter()
+            self._last_completion = self._started
+
+    # ------------------------------------------------------------------ #
+    def record_submission(self, cache_hit: bool) -> None:
+        with self._lock:
+            self._submitted += 1
+            if cache_hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_completion(self, latency_s: float) -> None:
+        with self._lock:
+            self._completed += 1
+            self._last_completion = time.perf_counter()
+            if len(self._latencies) < self.max_samples:
+                self._latencies.append(float(latency_s))
+
+    def record_batch(self, batch_size: int) -> None:
+        with self._lock:
+            if len(self._batch_sizes) < self.max_samples:
+                self._batch_sizes.append(int(batch_size))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            total = self._cache_hits + self._cache_misses
+            return self._cache_hits / total if total else 0.0
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Summarize everything observed since construction/:meth:`reset`."""
+        with self._lock:
+            elapsed = max(self._last_completion - self._started, 1e-9)
+            latencies = np.array(self._latencies) if self._latencies else np.zeros(1)
+            sizes = np.array(self._batch_sizes, dtype=float) if self._batch_sizes else np.zeros(1)
+            total_lookups = self._cache_hits + self._cache_misses
+            return MetricsSnapshot(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                cache_hit_rate=self._cache_hits / total_lookups if total_lookups else 0.0,
+                requests_per_second=self._completed / elapsed,
+                latency_p50_ms=float(np.percentile(latencies, 50)) * 1e3,
+                latency_p90_ms=float(np.percentile(latencies, 90)) * 1e3,
+                latency_p99_ms=float(np.percentile(latencies, 99)) * 1e3,
+                latency_mean_ms=float(latencies.mean()) * 1e3,
+                num_batches=len(self._batch_sizes),
+                mean_batch_size=float(sizes.mean()),
+                batch_occupancy=float(sizes.mean()) / self.max_batch_size,
+                elapsed_s=elapsed,
+            )

@@ -1,0 +1,149 @@
+"""Score requests/responses and content-addressed identity.
+
+Every request is identified by a deterministic content hash derived from
+the ligand pose, the binding site and the serving model's weights.  Two
+requests with the same hash are guaranteed to produce the same score, so
+the hash doubles as the key of the result cache: repeated campaign
+queries (re-scoring the same pose against the same site with the same
+checkpoint) are served without touching a model replica.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.complexes import ProteinLigandComplex
+from repro.chem.molecule import Molecule
+from repro.chem.protein import BindingSite
+from repro.nn.module import Module
+
+
+def _hash_update_array(hasher, array) -> None:
+    value = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+    hasher.update(str(value.shape).encode())
+    hasher.update(value.tobytes())
+
+
+def _hash_update_atoms(hasher, atoms) -> None:
+    for atom in atoms:
+        hasher.update(atom.element.encode())
+        _hash_update_array(hasher, atom.position)
+        hasher.update(
+            np.float64(atom.partial_charge).tobytes()
+            + bytes(
+                [
+                    int(atom.formal_charge) & 0xFF,
+                    int(atom.hydrophobic),
+                    int(atom.hbond_donor),
+                    int(atom.hbond_acceptor),
+                    int(atom.aromatic),
+                ]
+            )
+        )
+
+
+def molecule_digest(molecule: Molecule) -> str:
+    """Deterministic hex digest of a molecule (atoms, coordinates, bonds)."""
+    hasher = hashlib.sha256()
+    _hash_update_atoms(hasher, molecule.atoms)
+    for bond in molecule.bonds:
+        hasher.update(bytes((min(bond.i, bond.j) & 0xFF, max(bond.i, bond.j) & 0xFF, bond.order)))
+    return hasher.hexdigest()
+
+
+def site_digest(site: BindingSite) -> str:
+    """Deterministic hex digest of a binding site (name, target, pocket atoms).
+
+    Binding sites are rigid and orders of magnitude larger than ligands,
+    and a campaign scores thousands of poses against each one, so the
+    digest is memoized on the site instance (as a non-field attribute)
+    rather than recomputed per request.
+    """
+    cached = getattr(site, "_serving_digest", None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(site.name.encode())
+    hasher.update(site.target.encode())
+    _hash_update_atoms(hasher, site.atoms)
+    digest = hasher.hexdigest()
+    site._serving_digest = digest
+    return digest
+
+
+def model_fingerprint(model: Module) -> str:
+    """Deterministic hex digest of a model's identity (class + weights).
+
+    Hashing the full ``state_dict`` means a fine-tuned checkpoint of the
+    same architecture gets a different fingerprint, so stale cache entries
+    can never be served after a model swap.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(type(model).__name__.encode())
+    for name, value in sorted(model.state_dict().items()):
+        hasher.update(name.encode())
+        _hash_update_array(hasher, value)
+    return hasher.hexdigest()
+
+
+def content_key(complex_: ProteinLigandComplex, model_fp: str) -> str:
+    """Content-addressed cache key: compound pose + binding site + model."""
+    hasher = hashlib.sha256()
+    hasher.update(site_digest(complex_.site).encode())
+    hasher.update(molecule_digest(complex_.ligand).encode())
+    hasher.update(str(int(complex_.pose_id)).encode())
+    hasher.update(model_fp.encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class ScoreRequest:
+    """One online scoring request: a posed ligand in a binding site.
+
+    Attributes
+    ----------
+    complex_:
+        The protein-ligand complex to score.
+    request_id:
+        Caller-supplied identifier echoed in the response (defaults to
+        ``complex_id/pose_id``).
+    key:
+        Content hash; computed by the service on admission (it depends on
+        the serving model's fingerprint) unless supplied by the caller.
+    metadata:
+        Free-form annotations carried through to the response.
+    """
+
+    complex_: ProteinLigandComplex
+    request_id: str = ""
+    key: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            self.request_id = f"{self.complex_.complex_id}/{self.complex_.pose_id}"
+
+    def resolve_key(self, model_fp: str) -> str:
+        """Compute (and memoize) the content-addressed cache key."""
+        if not self.key:
+            self.key = content_key(self.complex_, model_fp)
+        return self.key
+
+
+@dataclass
+class ScoreResponse:
+    """The service's answer to one :class:`ScoreRequest`."""
+
+    request_id: str
+    complex_id: str
+    pose_id: int
+    score: float
+    key: str
+    cached: bool = False
+    replica: int = -1
+    batch_size: int = 0
+    latency_s: float = 0.0
+    metadata: dict = field(default_factory=dict)

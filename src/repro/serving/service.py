@@ -1,0 +1,369 @@
+"""The online scoring service facade.
+
+``ScoringService`` turns a trained fusion model into a request/response
+scorer: callers submit posed complexes and receive pK predictions, while
+internally requests flow through admission control (bounded queue with
+explicit ``Overloaded`` rejection), a content-addressed result cache, a
+dynamic micro-batcher and a pool of sharded model replicas.
+
+Two calling conventions are offered:
+
+* :meth:`submit` / :meth:`score` — the online path.  Each request is
+  admitted individually and coalesced with whatever else is in flight,
+  so batch composition depends on arrival timing.
+* :meth:`score_many` — the bulk path.  The request list is partitioned
+  into deterministic ``max_batch_size`` chunks, making the exact batches
+  (and therefore the exact floating-point scores) reproducible; this is
+  what the screening campaign uses when routed through the service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.chem.complexes import ProteinLigandComplex
+from repro.featurize.pipeline import ComplexFeaturizer, FeaturizedComplex
+from repro.nn.module import Module
+from repro.serving.batcher import MicroBatch, MicroBatcher, QueueClosed, collate_request_batch
+from repro.serving.cache import H5CacheAdapter, ResultCache
+from repro.serving.metrics import MetricsSnapshot, ServingMetrics
+from repro.serving.requests import ScoreRequest, ScoreResponse
+from repro.serving.workers import ModuleBackend, ReplicaPool, ScoringBackend
+from repro.utils.logging import get_logger
+
+logger = get_logger("repro.serving")
+
+
+class Overloaded(RuntimeError):
+    """Admission refused: the request queue is full (retry with backoff)."""
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of the online scoring service."""
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.002
+    num_replicas: int = 2
+    #: bound on admitted-but-incomplete requests (queued, batched or being
+    #: scored); :meth:`ScoringService.submit` rejects beyond it
+    queue_capacity: int = 64
+    cache_capacity: int = 4096
+    cache_enabled: bool = True
+    dispatch: str = "least_loaded"
+    #: deep-copy the model per replica instead of sharing one instance
+    replicate_weights: bool = False
+
+
+class PendingScore:
+    """Future-style handle to an in-flight (or cache-resolved) request."""
+
+    def __init__(self, request: ScoreRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._response: ScoreResponse | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ScoreResponse:
+        """Block until the score is available (raises on service failure)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"score for '{self.request.request_id}' not ready within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    # internal resolution hooks -------------------------------------- #
+    def _resolve(self, response: ScoreResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _WorkItem:
+    """One admitted cache-miss travelling through batcher and workers."""
+
+    request: ScoreRequest
+    sample: FeaturizedComplex
+    pending: PendingScore
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+class ScoringService:
+    """Online scoring over a fusion model with batching, shards and cache.
+
+    Parameters
+    ----------
+    model:
+        A trained module (any of the zoo: heads, Late/Mid/Coherent
+        fusion) — wrapped in a :class:`ModuleBackend`.  Alternatively
+        pass a ready-made backend via ``backend=``.
+    featurizer:
+        Featurizer shared with the offline pipeline so online samples
+        are byte-identical to scoring-job samples.
+    config:
+        Service knobs (see :class:`ServingConfig`).
+    """
+
+    def __init__(
+        self,
+        model: Module | None = None,
+        featurizer: ComplexFeaturizer | None = None,
+        config: ServingConfig | None = None,
+        backend: ScoringBackend | None = None,
+        cache_store: H5CacheAdapter | None = None,
+    ) -> None:
+        if (model is None) == (backend is None):
+            raise ValueError("provide exactly one of model= or backend=")
+        if featurizer is None:
+            raise ValueError("a ComplexFeaturizer is required")
+        self.config = config or ServingConfig()
+        cfg = self.config
+        base = backend if backend is not None else ModuleBackend(model)
+        if cfg.replicate_weights:
+            if not isinstance(base, ModuleBackend):
+                raise ValueError(
+                    "replicate_weights=True requires a ModuleBackend; custom backends "
+                    "must manage their own per-replica isolation"
+                )
+            backends = base.replicate(cfg.num_replicas)
+        else:
+            backends = [base] * cfg.num_replicas
+        self.featurizer = featurizer
+        self.pool = ReplicaPool(backends, dispatch=cfg.dispatch)
+        self.batcher = MicroBatcher(
+            max_batch_size=cfg.max_batch_size, max_wait_s=cfg.max_wait_s, capacity=cfg.queue_capacity
+        )
+        self.cache = ResultCache(cfg.cache_capacity)
+        self.metrics = ServingMetrics(max_batch_size=cfg.max_batch_size)
+        self.model_fp = base.fingerprint()
+        self._dispatcher: threading.Thread | None = None
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._running = False
+        self._closed = False
+        if cache_store is not None:
+            loaded = cache_store.load(self.cache)
+            if loaded:
+                logger.info("warmed result cache with %d persisted entries", loaded)
+
+    # -- lifecycle ------------------------------------------------------ #
+    def start(self) -> "ScoringService":
+        """Start replica workers and the batch dispatcher."""
+        if self._closed:
+            raise RuntimeError("ScoringService cannot be restarted after close(); build a new one")
+        if self._running:
+            return self
+        self._running = True
+        self.pool.start()
+        self._dispatcher = threading.Thread(target=self._dispatch_loop, name="serving-dispatcher", daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has completed."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = None if deadline is None else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._inflight_cond.wait(timeout=remaining)
+        return True
+
+    def close(self) -> None:
+        """Drain outstanding work, then stop all threads (terminal)."""
+        if not self._running:
+            return
+        self._closed = True
+        self.drain()
+        self.batcher.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+        self.pool.close()
+        self._running = False
+
+    def __enter__(self) -> "ScoringService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- online path ----------------------------------------------------- #
+    def submit(self, item: ProteinLigandComplex | ScoreRequest) -> PendingScore:
+        """Admit one request; returns a handle resolving to its response.
+
+        Raises
+        ------
+        Overloaded
+            When ``queue_capacity`` requests are already admitted but not
+            yet completed (queued, batched or being scored).  Callers are
+            expected to back off and retry; the service never silently
+            drops work.
+        """
+        if not self._running:
+            raise RuntimeError("ScoringService.submit before start()")
+        arrived_at = time.perf_counter()
+        request = item if isinstance(item, ScoreRequest) else ScoreRequest(complex_=item)
+        key = request.resolve_key(self.model_fp)
+        pending = PendingScore(request)
+
+        if self.config.cache_enabled:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.metrics.record_submission(cache_hit=True)
+                self.metrics.record_completion(time.perf_counter() - arrived_at)
+                pending._resolve(self._response(request, hit, cached=True))
+                return pending
+
+        # admission control: reject before paying for featurization
+        with self._inflight_cond:
+            if self._inflight >= self.config.queue_capacity:
+                self.metrics.record_rejection()
+                raise Overloaded(
+                    f"{self._inflight} requests in flight (capacity {self.config.queue_capacity}); retry later"
+                )
+            self._inflight += 1
+
+        try:
+            self.metrics.record_submission(cache_hit=False)
+            sample = self.featurizer.featurize(request.complex_)
+            work = _WorkItem(request=request, sample=sample, pending=pending, submitted_at=arrived_at)
+            if not self.batcher.put(work):
+                # unreachable: admission bounds in-flight requests, and the
+                # batcher queue can never exceed them
+                raise RuntimeError("admission accounting violated: queue full after admission")
+        except QueueClosed:
+            self._finish_one()
+            raise RuntimeError("ScoringService is closed") from None
+        except BaseException:
+            self._finish_one()
+            raise
+        return pending
+
+    def score(self, complex_: ProteinLigandComplex, timeout: float | None = 60.0) -> ScoreResponse:
+        """Synchronous single-request convenience wrapper."""
+        return self.submit(complex_).result(timeout=timeout)
+
+    # -- bulk path -------------------------------------------------------- #
+    def score_many(
+        self, complexes: list[ProteinLigandComplex], timeout: float | None = 300.0
+    ) -> list[ScoreResponse]:
+        """Score a list with deterministic batch composition.
+
+        Cache misses are partitioned, in submission order, into chunks of
+        exactly ``max_batch_size`` (last chunk may be smaller) and each
+        chunk is dispatched to the replica pool directly, bypassing the
+        timing-dependent coalescing.  Responses come back in input order.
+        """
+        if not self._running:
+            raise RuntimeError("ScoringService.score_many before start()")
+        requests = [ScoreRequest(complex_=c) for c in complexes]
+        pendings: list[PendingScore] = []
+        misses: list[_WorkItem] = []
+        for request in requests:
+            arrived_at = time.perf_counter()
+            key = request.resolve_key(self.model_fp)
+            pending = PendingScore(request)
+            pendings.append(pending)
+            hit = self.cache.get(key) if self.config.cache_enabled else None
+            if hit is not None:
+                self.metrics.record_submission(cache_hit=True)
+                self.metrics.record_completion(time.perf_counter() - arrived_at)
+                pending._resolve(self._response(request, hit, cached=True))
+                continue
+            self.metrics.record_submission(cache_hit=False)
+            sample = self.featurizer.featurize(request.complex_)
+            misses.append(_WorkItem(request=request, sample=sample, pending=pending, submitted_at=arrived_at))
+
+        size = self.config.max_batch_size
+        for begin in range(0, len(misses), size):
+            chunk = misses[begin : begin + size]
+            with self._inflight_cond:
+                self._inflight += len(chunk)
+            self.pool.submit(
+                lambda replica, backend, chunk=chunk: self._execute(replica, backend, MicroBatch(items=chunk))
+            )
+        return [p.result(timeout=timeout) for p in pendings]
+
+    # -- introspection ----------------------------------------------------- #
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def save_cache(self, adapter: H5CacheAdapter | None = None) -> H5CacheAdapter:
+        """Persist the warm result cache for the next session."""
+        adapter = adapter or H5CacheAdapter()
+        adapter.save(self.cache)
+        return adapter
+
+    # -- internals --------------------------------------------------------- #
+    def _response(
+        self, request: ScoreRequest, score: float, cached: bool, replica: int = -1,
+        batch_size: int = 0, latency_s: float = 0.0,
+    ) -> ScoreResponse:
+        return ScoreResponse(
+            request_id=request.request_id,
+            complex_id=request.complex_.complex_id,
+            pose_id=request.complex_.pose_id,
+            score=float(score),
+            key=request.key,
+            cached=cached,
+            replica=replica,
+            batch_size=batch_size,
+            latency_s=latency_s,
+        )
+
+    def _finish_one(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            self.pool.submit(
+                lambda replica, backend, batch=batch: self._execute(replica, backend, batch)
+            )
+
+    def _execute(self, replica: int, backend: ScoringBackend, batch: MicroBatch) -> None:
+        items: list[_WorkItem] = batch.items
+        try:
+            collated = collate_request_batch([w.sample for w in items])
+            scores = backend.score_batch(collated)
+            if scores.shape[0] != len(items):
+                raise RuntimeError(
+                    f"backend returned {scores.shape[0]} scores for {len(items)} requests"
+                )
+            self.metrics.record_batch(len(items))
+            now = time.perf_counter()
+            for work, score in zip(items, scores):
+                if self.config.cache_enabled:
+                    self.cache.put(work.request.key, float(score))
+                latency = now - work.submitted_at
+                self.metrics.record_completion(latency)
+                work.pending._resolve(
+                    self._response(
+                        work.request, float(score), cached=False, replica=replica,
+                        batch_size=len(items), latency_s=latency,
+                    )
+                )
+        except BaseException as error:  # propagate to every waiting caller
+            logger.error("scoring batch failed on replica %d: %s", replica, error)
+            for work in items:
+                work.pending._fail(error)
+        finally:
+            for _ in items:
+                self._finish_one()

@@ -1,0 +1,185 @@
+"""Sharded model replicas behind one ``ScoringBackend`` protocol.
+
+The service scores batches on a pool of model replicas, one worker
+thread per replica, mirroring the paper's per-GPU model instances at
+in-process scale.  Replicas either share the underlying module (safe:
+eval-mode forward passes are read-only and gradient recording is
+per-thread) or own a deep copy each, and a dispatcher assigns batches
+round-robin or to the least-loaded replica.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import deque
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.tensor import no_grad
+from repro.serving.requests import model_fingerprint
+
+
+class ScoringBackend(Protocol):
+    """Anything that can score a collated batch into per-sample pK values."""
+
+    name: str
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the backend's model identity."""
+        ...
+
+    def score_batch(self, batch: dict) -> np.ndarray:
+        """Score one collated batch; returns a ``(N,)`` float array."""
+        ...
+
+
+class ModuleBackend:
+    """Wrap any ``repro.nn`` module (LateFusion, FusionNetwork, heads...)."""
+
+    def __init__(self, model: Module, name: str = "") -> None:
+        self.model = model
+        self.model.eval()
+        self.name = name or type(model).__name__
+        self._fingerprint: str | None = None
+
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = model_fingerprint(self.model)
+        return self._fingerprint
+
+    def score_batch(self, batch: dict) -> np.ndarray:
+        with no_grad():
+            out = self.model(batch)
+        return np.asarray(out.numpy(), dtype=np.float64).reshape(-1)
+
+    def replicate(self, copies: int) -> list["ModuleBackend"]:
+        """Deep-copied replicas (fingerprints are shared, weights equal)."""
+        replicas = []
+        for index in range(copies):
+            clone = ModuleBackend(copy.deepcopy(self.model), name=f"{self.name}#{index}")
+            clone._fingerprint = self.fingerprint()
+            replicas.append(clone)
+        return replicas
+
+
+class _Replica:
+    """One worker thread draining a private task queue."""
+
+    def __init__(self, index: int, backend: ScoringBackend) -> None:
+        self.index = index
+        self.backend = backend
+        self.tasks: deque[Callable[[], None]] = deque()
+        self.cond = threading.Condition()
+        self.in_flight = 0
+        self.completed_batches = 0
+        self.closed = False
+        self.thread = threading.Thread(target=self._loop, name=f"serving-replica-{index}", daemon=True)
+
+    def load(self) -> int:
+        with self.cond:
+            return len(self.tasks) + self.in_flight
+
+    def submit(self, task: Callable[[], None]) -> None:
+        with self.cond:
+            if self.closed:
+                raise RuntimeError("replica is closed")
+            self.tasks.append(task)
+            self.cond.notify()
+
+    def close(self) -> None:
+        with self.cond:
+            self.closed = True
+            self.cond.notify()
+
+    def _loop(self) -> None:
+        while True:
+            with self.cond:
+                while not self.tasks and not self.closed:
+                    self.cond.wait()
+                if not self.tasks and self.closed:
+                    return
+                task = self.tasks.popleft()
+                self.in_flight += 1
+            try:
+                task()
+            finally:
+                with self.cond:
+                    self.in_flight -= 1
+                    self.completed_batches += 1
+                    self.cond.notify_all()
+
+
+class ReplicaPool:
+    """Dispatch batches across model replicas.
+
+    Parameters
+    ----------
+    backends:
+        One scoring backend per replica.  Use
+        :meth:`ModuleBackend.replicate` for independent weight copies, or
+        pass the same backend N times to shard a shared model across
+        threads.
+    dispatch:
+        ``"round_robin"`` cycles replicas; ``"least_loaded"`` picks the
+        replica with the fewest queued + running batches.
+    """
+
+    DISPATCH_POLICIES = ("round_robin", "least_loaded")
+
+    def __init__(self, backends: Sequence[ScoringBackend], dispatch: str = "least_loaded") -> None:
+        if not backends:
+            raise ValueError("ReplicaPool needs at least one backend")
+        if dispatch not in self.DISPATCH_POLICIES:
+            raise ValueError(f"dispatch must be one of {self.DISPATCH_POLICIES}, got '{dispatch}'")
+        self.dispatch = dispatch
+        self._replicas = [_Replica(i, b) for i, b in enumerate(backends)]
+        self._rr_lock = threading.Lock()
+        self._rr_next = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_replicas(self) -> int:
+        return len(self._replicas)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for replica in self._replicas:
+            replica.thread.start()
+
+    def close(self, wait: bool = True) -> None:
+        for replica in self._replicas:
+            replica.close()
+        if wait and self._started:
+            for replica in self._replicas:
+                replica.thread.join()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    def _pick(self) -> _Replica:
+        if self.dispatch == "round_robin":
+            with self._rr_lock:
+                replica = self._replicas[self._rr_next % len(self._replicas)]
+                self._rr_next += 1
+                return replica
+        return min(self._replicas, key=lambda r: (r.load(), r.index))
+
+    def submit(self, work: Callable[[int, ScoringBackend], None]) -> int:
+        """Assign ``work(replica_index, backend)`` to a replica; returns its index."""
+        if not self._started:
+            raise RuntimeError("ReplicaPool.submit before start()")
+        replica = self._pick()
+        replica.submit(lambda: work(replica.index, replica.backend))
+        return replica.index
+
+    def loads(self) -> list[int]:
+        """Queued + running batches per replica (dispatch observability)."""
+        return [r.load() for r in self._replicas]
+
+    def completed_batches(self) -> list[int]:
+        return [r.completed_batches for r in self._replicas]
