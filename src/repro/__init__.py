@@ -21,6 +21,7 @@ Sub-packages
 ``repro.hpc``          Simulated cluster, LSF scheduler, MPI/Horovod, HDF5 store.
 ``repro.screening``    Distributed fusion scoring jobs and campaign pipeline.
 ``repro.serving``      Online scoring service: micro-batching, replicas, cache.
+``repro.runtime``      Fault-tolerant campaign runtime: stage checkpoints, resume.
 ``repro.eval``         Metrics, classification analyses, report rendering.
 ``repro.experiments``  Drivers regenerating every paper table and figure.
 """

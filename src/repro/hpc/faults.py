@@ -58,6 +58,15 @@ class FaultInjector:
         self.enabled = bool(enabled)
         self.injected: list[FaultEvent] = []
 
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, enabled: bool = True) -> "FaultInjector":
+        """Injector with the same failure probability at every node count.
+
+        Useful for the runtime's fault-path tests and fault-rate sweeps,
+        where the paper's node-count-dependent rates are not the point.
+        """
+        return cls(failure_rates={1: rate}, seed=seed, enabled=enabled)
+
     # ------------------------------------------------------------------ #
     def failure_probability(self, num_nodes: int) -> float:
         """Failure probability for a job of ``num_nodes`` (interpolated between known points)."""

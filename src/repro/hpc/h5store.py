@@ -16,7 +16,7 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.utils.serialization import load_npz_dict, save_npz_dict
+from repro.utils.serialization import load_npz_dict, load_npz_meta, save_npz_dict
 
 
 def _normalize(path: str) -> str:
@@ -101,6 +101,17 @@ class H5Store:
             else:
                 data[key] = value
         save_npz_dict(path, data, meta=meta)
+
+    @classmethod
+    def peek_attrs(cls, path: str | os.PathLike) -> dict[str, dict[str, float | int | str]]:
+        """Attribute tables of a saved store without loading dataset payloads.
+
+        Returns the same ``path -> attrs`` mapping :meth:`attrs` serves,
+        but reads only the container's metadata member — string datasets
+        and numeric payloads stay untouched on disk.
+        """
+        meta = load_npz_meta(path)
+        return {key: dict(value) for key, value in meta.get("attrs", {}).items()}
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "H5Store":

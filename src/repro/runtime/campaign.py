@@ -1,0 +1,478 @@
+"""The fault-tolerant campaign runtime.
+
+:class:`CampaignRuntime` decomposes the screening campaign into the
+stage graph below, executes stages in order, checkpoints every completed
+stage under a content key and restores completed stages on re-runs —
+a killed campaign resumes from the last completed stage instead of
+restarting, which is what makes days-long screening allotments under a
+12-hour wall-time limit (and the paper's §4.3 fault rates) survivable.
+
+::
+
+    library ──> ligand_prep ──> docking ──> mmgbsa ──> fusion_scoring ──> cost_function ──> assays
+
+Stage keys chain: each key hashes the stage's own configuration
+ingredients (seeds, library counts, docking knobs, the fusion model's
+weight fingerprint, cost-function weights, ...) together with the keys
+of its dependencies.  Changing the seed invalidates everything; swapping
+the fusion model checkpoint invalidates ``fusion_scoring`` and its
+downstream stages while docking checkpoints keep being reused.
+
+The fusion stage fans out into per-site scoring jobs executed by a
+bounded worker pool with fault-injected retries (:class:`JobRunner`),
+and the same job set is projected onto the simulated LSF cluster
+(:class:`~repro.hpc.scheduler.JobScheduler`) to report paper-scale
+makespan and attempt statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.chem.complexes import InteractionModel, ProteinLigandComplex
+from repro.chem.protein import make_sarscov2_targets
+from repro.datasets.assays import make_assay_panel, simulate_campaign_assays
+from repro.datasets.libraries import build_screening_deck
+from repro.docking.ampl import AMPLSurrogate
+from repro.docking.conveyorlc import CDT1Receptor, CDT2Ligand, CDT3Docking, CDT4Mmgbsa
+from repro.featurize.pipeline import ComplexFeaturizer
+from repro.hpc.cluster import SimulatedCluster
+from repro.hpc.faults import FaultInjector
+from repro.hpc.scheduler import Job, JobScheduler, SchedulerConfig
+from repro.nn.module import Module
+from repro.runtime.checkpoint import CheckpointStore, checkpoint_key
+from repro.runtime.executor import (
+    BatchStageExecutor,
+    JobRunner,
+    RetryPolicy,
+    ServingStageExecutor,
+    StageExecutor,
+    StageJob,
+)
+from repro.runtime.stages import RuntimeReport, Stage, StageFailure, StageGraph, StageReport
+from repro.screening.costfunction import CompoundCostFunction, CompoundScore
+from repro.screening.pipeline import CampaignConfig, CampaignResult
+from repro.serving.requests import model_fingerprint, site_digest
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
+
+logger = get_logger("repro.runtime")
+
+#: The campaign's stage graph (a chain: each stage depends on the previous).
+CAMPAIGN_STAGES = StageGraph(
+    [
+        Stage("library", provides=("sites", "deck")),
+        Stage("ligand_prep", provides=("receptors", "ligands"), deps=("library",)),
+        Stage("docking", provides=("database",), deps=("ligand_prep",)),
+        Stage("mmgbsa", provides=("database",), deps=("docking",)),
+        Stage("fusion_scoring", provides=("database", "job_results"), deps=("mmgbsa",)),
+        Stage("cost_function", provides=("selections", "ampl_models"), deps=("fusion_scoring",)),
+        Stage("assays", provides=("assays", "structural_pk"), deps=("cost_function",)),
+    ]
+)
+
+
+@dataclass
+class RuntimeConfig:
+    """Execution policy of the campaign runtime."""
+
+    #: directory for stage checkpoints; ``None`` disables checkpointing
+    #: (the thin ``ScreeningCampaign.run()`` facade default)
+    checkpoint_dir: str | None = None
+    #: restore completed stages from matching checkpoints (disable to
+    #: force re-execution while still writing fresh checkpoints)
+    resume: bool = True
+    #: bound on concurrently running stage jobs (per-site scoring)
+    max_workers: int = 4
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: fault source for stage jobs; ``None`` means no injected faults
+    fault_injector: FaultInjector | None = None
+    #: fusion-scoring route: "auto" follows ``CampaignConfig.use_serving``,
+    #: or force "batch" / "serving" explicitly
+    executor: str = "auto"
+    #: opt-in: project the fusion job set onto the simulated LSF cluster
+    #: and record makespan/attempts in the stage report (off by default
+    #: so the plain facade run does exactly the monolith's work)
+    modelled_schedule: bool = False
+
+
+class CampaignRuntime:
+    """Resumable, fault-tolerant execution of one screening campaign."""
+
+    def __init__(
+        self,
+        model: Module,
+        featurizer: ComplexFeaturizer,
+        campaign: CampaignConfig | None = None,
+        runtime: RuntimeConfig | None = None,
+        cost_function: CompoundCostFunction | None = None,
+        interaction_model: InteractionModel | None = None,
+        checkpoints: CheckpointStore | None = None,
+    ) -> None:
+        self.model = model
+        self.featurizer = featurizer
+        self.campaign = campaign or CampaignConfig()
+        self.runtime = runtime or RuntimeConfig()
+        self.cost_function = cost_function or CompoundCostFunction()
+        self.interaction_model = interaction_model or InteractionModel()
+        if self.runtime.executor not in ("auto", "batch", "serving"):
+            raise ValueError(f"unknown executor '{self.runtime.executor}'")
+        if checkpoints is not None:
+            self.checkpoints: CheckpointStore | None = checkpoints
+        elif self.runtime.checkpoint_dir is not None:
+            self.checkpoints = CheckpointStore(self.runtime.checkpoint_dir)
+        else:
+            self.checkpoints = None
+        self.stages = CAMPAIGN_STAGES
+        self.report = RuntimeReport()
+        #: how many times each stage actually executed over this
+        #: runtime's lifetime (restores do not count) — the counters the
+        #: kill/resume tests assert on
+        self.execution_counts: dict[str, int] = {name: 0 for name in self.stages.names()}
+        self._model_fp: str | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def executor_name(self) -> str:
+        if self.runtime.executor != "auto":
+            return self.runtime.executor
+        return "serving" if self.campaign.use_serving else "batch"
+
+    def model_fp(self) -> str:
+        """Fingerprint of the fusion model's weights (memoized)."""
+        if self._model_fp is None:
+            self._model_fp = model_fingerprint(self.model)
+        return self._model_fp
+
+    def _featurizer_digest(self) -> tuple:
+        """Deterministic identity of the featurization that feeds the model.
+
+        A changed grid resolution or graph cutoff changes model inputs
+        (and therefore scores), so it must invalidate the fusion
+        checkpoint just like a model-weight swap does.
+        """
+        f = self.featurizer
+        return (
+            tuple(sorted(vars(f.voxelizer.config).items())),
+            repr(f.graph_builder.config),
+            f.augment,
+            f.rotation_probability,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self, use_threads: bool | None = None, stop_after: str | None = None) -> CampaignResult | None:
+        """Execute (or resume) the campaign.
+
+        Parameters
+        ----------
+        use_threads:
+            Forwarded to the batch scoring jobs (see
+            :meth:`repro.screening.job.FusionScoringJob.run`).
+        stop_after:
+            Stop once the named stage has completed and checkpointed —
+            simulating a campaign killed mid-flight.  Returns ``None``
+            in that case; a later :meth:`run` resumes from the
+            checkpoints.
+
+        Raises
+        ------
+        StageFailure
+            When a stage's jobs exhaust their retry budget or its body
+            raises.  Checkpoints of completed stages survive, so a
+            re-run resumes; the failed stage's report (attempts,
+            retries, faults) is preserved in :attr:`report`.
+        """
+        if stop_after is not None:
+            self.stages.stage(stop_after)  # validate the name early
+            if self.checkpoints is None:
+                raise ValueError(
+                    "stop_after requires a checkpoint store: without one the "
+                    "completed stages would be silently discarded"
+                )
+        self.report = RuntimeReport()
+        context: dict[str, Any] = {}
+        keys: dict[str, str] = {}
+        for stage in self.stages:
+            key = self.stage_key(stage.name, keys)
+            keys[stage.name] = key
+            started = time.perf_counter()
+            payload = None
+            if self.checkpoints is not None and self.runtime.resume:
+                payload = self.checkpoints.load(stage.name, key)
+                if payload is not None and not set(stage.provides) <= set(payload):
+                    # e.g. a checkpoint written before a stage grew a new
+                    # artifact: treat as a miss, not a permanent failure
+                    logger.warning("checkpoint for '%s' lacks required artifacts; re-executing", stage.name)
+                    self.checkpoints.discard(stage.name)
+                    payload = None
+            if payload is not None:
+                report = StageReport(name=stage.name, key=key, status="restored", attempts=0)
+            else:
+                report = StageReport(name=stage.name, key=key, status="executed")
+                try:
+                    payload = self._execute_stage(stage, context, report, use_threads)
+                    missing = set(stage.provides) - set(payload)
+                    if missing:
+                        raise RuntimeError(f"stage payload missing artifacts {sorted(missing)}")
+                except BaseException as error:
+                    # keep the attempt/retry/fault record of the failed stage
+                    report.duration_s = time.perf_counter() - started
+                    self.report.stages.append(report)
+                    if isinstance(error, Exception):
+                        raise StageFailure(stage.name, error) from error
+                    raise  # KeyboardInterrupt and friends pass through untouched
+                self.execution_counts[stage.name] += 1
+                if self.checkpoints is not None:
+                    try:
+                        self.checkpoints.save(stage.name, key, payload)
+                    except Exception as error:
+                        # Checkpointing is a durability optimization: a full
+                        # disk or unpicklable payload must not kill a stage
+                        # that just executed successfully — the campaign
+                        # continues, this stage simply won't restore.
+                        logger.warning("could not checkpoint stage '%s': %s", stage.name, error)
+            context.update(payload)
+            report.duration_s = time.perf_counter() - started
+            self.report.stages.append(report)
+            logger.info("stage %-14s %s in %.3fs", stage.name, report.status, report.duration_s)
+            if stop_after == stage.name:
+                return None
+        return self._assemble_result(context)
+
+    # ------------------------------------------------------------------ #
+    # content keys
+    # ------------------------------------------------------------------ #
+    def stage_key(self, stage_name: str, upstream: dict[str, str] | None = None) -> str:
+        """Content key of one stage given (or recomputing) upstream keys."""
+        stage = self.stages.stage(stage_name)
+        if upstream is None:
+            upstream = {}
+            for prior in self.stages:
+                upstream[prior.name] = self.stage_key(prior.name, upstream)
+                if prior.name == stage_name:
+                    break
+            return upstream[stage_name]
+        dep_keys = [upstream[dep] for dep in stage.deps]
+        return checkpoint_key(stage_name, self._stage_ingredients(stage_name), dep_keys)
+
+    def _stage_ingredients(self, stage_name: str) -> dict[str, object]:
+        cfg = self.campaign
+        if stage_name == "library":
+            sites = "sarscov2-default"
+            if cfg.sites is not None:
+                sites = tuple(sorted((name, site_digest(site)) for name, site in cfg.sites.items()))
+            return {"seed": cfg.seed, "library_counts": tuple(sorted(cfg.library_counts.items())), "sites": sites}
+        if stage_name == "ligand_prep":
+            return {"seed": cfg.seed}
+        if stage_name == "docking":
+            return {
+                "seed": cfg.seed,
+                "poses_per_compound": cfg.poses_per_compound,
+                "monte_carlo_steps": cfg.docking_mc_steps,
+                "restarts": cfg.docking_restarts,
+            }
+        if stage_name == "mmgbsa":
+            return {"seed": cfg.seed, "subset_fraction": cfg.mmgbsa_subset_fraction}
+        if stage_name == "fusion_scoring":
+            ingredients: dict[str, object] = {
+                "model": self.model_fp(),
+                "featurizer": self._featurizer_digest(),
+                "executor": self.executor_name,
+                "poses_per_job": cfg.poses_per_job,
+                "nodes_per_job": cfg.nodes_per_job,
+                "gpus_per_node": cfg.gpus_per_node,
+                "batch_size_per_rank": cfg.batch_size_per_rank,
+            }
+            if self.executor_name == "serving":
+                # batch composition (and therefore ulp-level rounding) follows these
+                ingredients["serving_max_batch_size"] = cfg.serving.max_batch_size
+            return ingredients
+        if stage_name == "cost_function":
+            weights = tuple(
+                sorted((k, v) for k, v in vars(self.cost_function).items() if not k.startswith("_"))
+            )
+            return {"weights": weights, "compounds_tested_per_site": cfg.compounds_tested_per_site}
+        if stage_name == "assays":
+            return {
+                "seed": cfg.seed,
+                "biology_penalty_mean": cfg.biology_penalty_mean,
+                "interaction_model": tuple(sorted(vars(self.interaction_model).items())),
+            }
+        raise KeyError(f"no ingredients defined for stage '{stage_name}'")
+
+    # ------------------------------------------------------------------ #
+    # stage bodies (each mirrors the corresponding slice of the original
+    # monolithic ScreeningCampaign.run, with identical seeding)
+    # ------------------------------------------------------------------ #
+    def _execute_stage(
+        self, stage: Stage, context: dict[str, Any], report: StageReport, use_threads: bool | None
+    ) -> dict[str, Any]:
+        fn = getattr(self, f"_stage_{stage.name}")
+        return fn(context, report, use_threads)
+
+    def _stage_library(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
+        cfg = self.campaign
+        sites = cfg.sites or make_sarscov2_targets(seed=derive_seed(cfg.seed, "targets"))
+        deck = build_screening_deck(cfg.library_counts, seed=cfg.seed)
+        return {"sites": sites, "deck": deck}
+
+    def _stage_ligand_prep(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
+        receptors = CDT1Receptor().run(list(context["sites"].values()))
+        ligands = CDT2Ligand().run(context["deck"].molecules, library="campaign")
+        return {"receptors": receptors, "ligands": ligands}
+
+    def _stage_docking(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
+        cfg = self.campaign
+        docking = CDT3Docking(
+            num_poses=cfg.poses_per_compound,
+            monte_carlo_steps=cfg.docking_mc_steps,
+            restarts=cfg.docking_restarts,
+            seed=derive_seed(cfg.seed, "docking"),
+        )
+        database = docking.run(context["receptors"], context["ligands"])
+        return {"database": database}
+
+    def _stage_mmgbsa(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
+        cfg = self.campaign
+        mmgbsa = CDT4Mmgbsa(subset_fraction=cfg.mmgbsa_subset_fraction, seed=derive_seed(cfg.seed, "mmgbsa"))
+        site_map = {name: receptor.site for name, receptor in context["receptors"].items()}
+        database = mmgbsa.run(context["database"], site_map)
+        return {"database": database}
+
+    def _stage_fusion_scoring(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
+        database = context["database"]
+        sites = context["sites"]
+        runner = JobRunner(
+            max_workers=self.runtime.max_workers,
+            fault_injector=self.runtime.fault_injector,
+            retry=self.runtime.retry,
+        )
+        with self._make_executor() as executor:
+            jobs: list[StageJob] = []
+            for site_name, site in sites.items():
+                site_records = [r for r in database.records() if r.site_name == site_name]
+                jobs.extend(executor.site_jobs(site, site_records, use_threads=use_threads))
+            try:
+                job_results = runner.run_all(jobs)
+            finally:
+                report.attempts = runner.total_attempts
+                report.retries = runner.total_retries
+                report.faults = [str(fault) for fault in runner.fault_log]
+        if self.runtime.modelled_schedule and jobs:
+            report.extra["modelled_schedule"] = self._modelled_schedule(jobs)
+        return {"database": database, "job_results": job_results}
+
+    def _stage_cost_function(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
+        database = context["database"]
+        sites = context["sites"]
+        ampl_models = self._fit_ampl_models(database, sites)
+        selections: dict[str, list[CompoundScore]] = {}
+        for site_name in sites:
+            selections[site_name] = self.cost_function.select_top(
+                database, site_name, self.campaign.compounds_tested_per_site
+            )
+        return {"selections": selections, "ampl_models": ampl_models}
+
+    def _stage_assays(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
+        cfg = self.campaign
+        database = context["database"]
+        sites = context["sites"]
+        structural_pk: dict[str, dict[str, float]] = {}
+        tested: dict[str, list[tuple[str, float]]] = {}
+        for site_name, scores in context["selections"].items():
+            site = sites[site_name]
+            structural_pk[site_name] = {}
+            tested[site_name] = []
+            for score in scores:
+                best = database.best_pose(site_name, score.compound_id, by="vina")
+                complex_ = ProteinLigandComplex(site, best.pose, complex_id=score.compound_id, pose_id=best.pose_id)
+                latent = self.interaction_model.true_pk(complex_)
+                structural_pk[site_name][score.compound_id] = latent
+                tested[site_name].append((score.compound_id, latent))
+        panel = make_assay_panel(
+            sites, seed=derive_seed(cfg.seed, "assays"), biology_penalty_mean=cfg.biology_penalty_mean
+        )
+        assays = simulate_campaign_assays(panel, tested)
+        return {"assays": assays, "structural_pk": structural_pk}
+
+    # ------------------------------------------------------------------ #
+    def _make_executor(self) -> StageExecutor:
+        cfg = self.campaign
+        if self.executor_name == "serving":
+            return ServingStageExecutor(self.model, self.featurizer, serving_config=cfg.serving)
+        return BatchStageExecutor(
+            self.model,
+            self.featurizer,
+            poses_per_job=cfg.poses_per_job,
+            num_nodes=cfg.nodes_per_job,
+            gpus_per_node=cfg.gpus_per_node,
+            batch_size_per_rank=cfg.batch_size_per_rank,
+        )
+
+    def _fit_ampl_models(self, database, sites) -> dict[str, AMPLSurrogate]:
+        """Fit one AMPL surrogate per site on the MM/GBSA-rescored poses."""
+        models: dict[str, AMPLSurrogate] = {}
+        for site_name in sites:
+            ligands, scores = [], []
+            for compound_id in database.compounds(site_name):
+                best = database.best_pose(site_name, compound_id, by="mmgbsa")
+                if best is None or not np.isfinite(best.mmgbsa_score):
+                    continue
+                ligands.append(best.pose)
+                scores.append(best.mmgbsa_score)
+            if len(ligands) >= 3:
+                models[site_name] = AMPLSurrogate(target=site_name).fit(ligands, np.array(scores))
+        return models
+
+    def _modelled_schedule(self, jobs: list[StageJob]) -> dict[str, float]:
+        """Project the fusion job set onto the simulated LSF cluster.
+
+        The scheduler shares the runner's fault statistics (same seed,
+        same per-(job, attempt) draws), so the simulated requeue pattern
+        matches the retries the real execution just performed — while
+        virtual time reports what the job set would cost at paper scale.
+        """
+        max_nodes = max(job.num_nodes for job in jobs)
+        cluster = SimulatedCluster(num_nodes=max(self.runtime.max_workers, 1) * max_nodes)
+        source = self.runtime.fault_injector
+        injector = FaultInjector(
+            failure_rates=source.failure_rates if source else None,
+            seed=source.seed if source else 0,
+            enabled=bool(source and source.enabled),
+        )
+        scheduler = JobScheduler(cluster, SchedulerConfig(), fault_injector=injector)
+        for job in jobs:
+            scheduler.submit(
+                Job(
+                    name=job.name,
+                    num_nodes=job.num_nodes,
+                    duration_seconds=max(job.modelled_seconds, 1.0),
+                    max_retries=self.runtime.retry.max_retries,
+                )
+            )
+        scheduler.run()
+        completed = scheduler.completed_jobs()
+        return {
+            "makespan_s": scheduler.makespan(),
+            "jobs": float(len(jobs)),
+            "completed": float(len(completed)),
+            "attempts": float(sum(j.attempts for j in scheduler.jobs.values())),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _assemble_result(self, context: dict[str, Any]) -> CampaignResult:
+        job_results = context["job_results"]
+        return CampaignResult(
+            sites=context["sites"],
+            database=context["database"],
+            selections=context["selections"],
+            assays=context["assays"],
+            job_results=job_results,
+            stores=[result.store for result in job_results],
+            ampl_models=context["ampl_models"],
+            structural_pk=context["structural_pk"],
+        )

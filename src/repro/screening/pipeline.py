@@ -6,30 +6,31 @@ and MM/GBSA rescoring (ConveyorLC), distributed Coherent Fusion scoring
 jobs, the compound cost function selecting candidates per binding site,
 and the simulated experimental assays producing percent-inhibition
 values for the retrospective analysis (Figures 5-7 and Table 8).
+
+Execution is delegated to the fault-tolerant stage runtime
+(:mod:`repro.runtime`): :class:`ScreeningCampaign` is a thin facade that
+drives a :class:`~repro.runtime.CampaignRuntime` without checkpointing,
+producing bit-identical results to the historical monolithic pass for a
+fixed seed.  Campaigns that need kill/resume semantics, fault-injected
+retries or bounded-concurrency site scoring construct the runtime
+directly with a checkpoint directory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.chem.complexes import InteractionModel, ProteinLigandComplex
-from repro.chem.protein import BindingSite, make_sarscov2_targets
-from repro.datasets.assays import CampaignAssayTable, make_assay_panel, simulate_campaign_assays
-from repro.datasets.libraries import build_screening_deck
+from repro.chem.complexes import InteractionModel
+from repro.chem.protein import BindingSite
+from repro.datasets.assays import CampaignAssayTable
 from repro.docking.ampl import AMPLSurrogate
-from repro.docking.conveyorlc import CDT3Docking, CDT4Mmgbsa, ConveyorLC, DockingDatabase
+from repro.docking.conveyorlc import DockingDatabase
 from repro.featurize.pipeline import ComplexFeaturizer
 from repro.hpc.h5store import H5Store
 from repro.nn.module import Module
 from repro.screening.costfunction import CompoundCostFunction, CompoundScore
-from repro.screening.job import FusionScoringJob, JobResult
-from repro.screening.output import write_job_output
-from repro.screening.partition import partition_poses_into_jobs
-from repro.serving import ScoringService, ServingConfig
-from repro.utils.rng import derive_seed
-from repro.utils.timer import Timer
+from repro.screening.job import JobResult
+from repro.serving import ServingConfig
 
 
 @dataclass
@@ -102,152 +103,34 @@ class ScreeningCampaign:
 
     # ------------------------------------------------------------------ #
     def run(self, use_threads: bool | None = None) -> CampaignResult:
-        cfg = self.config
-        sites = cfg.sites or make_sarscov2_targets(seed=derive_seed(cfg.seed, "targets"))
+        """Execute every stage front to back (no checkpointing).
 
-        # 1. compound libraries and physics-based pipeline (ConveyorLC)
-        deck = build_screening_deck(cfg.library_counts, seed=cfg.seed)
-        conveyor = ConveyorLC(
-            docking=CDT3Docking(
-                num_poses=cfg.poses_per_compound,
-                monte_carlo_steps=cfg.docking_mc_steps,
-                restarts=cfg.docking_restarts,
-                seed=derive_seed(cfg.seed, "docking"),
-            ),
-            mmgbsa=CDT4Mmgbsa(subset_fraction=cfg.mmgbsa_subset_fraction, seed=derive_seed(cfg.seed, "mmgbsa")),
-        )
-        database = conveyor.run(list(sites.values()), deck.molecules, library="campaign")
-
-        # 2. Fusion scoring: batch jobs per site, or the online serving path
-        job_results: list[JobResult] = []
-        stores: list[H5Store] = []
-        if cfg.use_serving:
-            job_results = self._score_sites_online(database, sites)
-            stores = [result.store for result in job_results]
-        else:
-            for site_name, site in sites.items():
-                site_records = [r for r in database.records() if r.site_name == site_name]
-                for job_index, job_records in enumerate(partition_poses_into_jobs(site_records, cfg.poses_per_job)):
-                    if not job_records:
-                        continue
-                    job = FusionScoringJob(
-                        model=self.model,
-                        featurizer=self.featurizer,
-                        site=site,
-                        records=job_records,
-                        num_nodes=cfg.nodes_per_job,
-                        gpus_per_node=cfg.gpus_per_node,
-                        batch_size_per_rank=cfg.batch_size_per_rank,
-                        job_name=f"{site_name}-job{job_index}",
-                    )
-                    result = job.run(use_threads=use_threads)
-                    job_results.append(result)
-                    stores.append(result.store)
-
-        # 3. AMPL MM/GBSA surrogates (per target) for the retrospective analysis
-        ampl_models = self._fit_ampl_models(database, sites)
-
-        # 4. compound selection per site (the hand-tailored cost function)
-        selections: dict[str, list[CompoundScore]] = {}
-        for site_name in sites:
-            selections[site_name] = self.cost_function.select_top(
-                database, site_name, cfg.compounds_tested_per_site
-            )
-
-        # 5. experimental follow-up: assay panel on the selected compounds
-        structural_pk: dict[str, dict[str, float]] = {}
-        tested: dict[str, list[tuple[str, float]]] = {}
-        for site_name, scores in selections.items():
-            site = sites[site_name]
-            structural_pk[site_name] = {}
-            tested[site_name] = []
-            for score in scores:
-                best = database.best_pose(site_name, score.compound_id, by="vina")
-                complex_ = ProteinLigandComplex(site, best.pose, complex_id=score.compound_id, pose_id=best.pose_id)
-                latent = self.interaction_model.true_pk(complex_)
-                structural_pk[site_name][score.compound_id] = latent
-                tested[site_name].append((score.compound_id, latent))
-        panel = make_assay_panel(
-            sites, seed=derive_seed(cfg.seed, "assays"), biology_penalty_mean=cfg.biology_penalty_mean
-        )
-        assays = simulate_campaign_assays(panel, tested)
-
-        return CampaignResult(
-            sites=sites,
-            database=database,
-            selections=selections,
-            assays=assays,
-            job_results=job_results,
-            stores=stores,
-            ampl_models=ampl_models,
-            structural_pk=structural_pk,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _score_sites_online(
-        self, database: DockingDatabase, sites: dict[str, BindingSite]
-    ) -> list[JobResult]:
-        """Rescore every site's poses through one shared ``ScoringService``.
-
-        One service (and therefore one warm result cache) spans all sites,
-        so repeated poses — e.g. a campaign re-run after adding compounds —
-        cost nothing.  Each site still produces a ``JobResult`` with the
-        store layout the retrospective analysis expects.
+        The fusion-scoring route follows ``config.use_serving``; for
+        resumable execution use :class:`repro.runtime.CampaignRuntime`
+        with a checkpoint directory instead.
         """
-        cfg = self.config
-        job_results: list[JobResult] = []
-        with ScoringService(model=self.model, featurizer=self.featurizer, config=cfg.serving) as service:
-            for site_name, site in sites.items():
-                site_records = [r for r in database.records() if r.site_name == site_name]
-                if not site_records:
-                    continue
-                timer = Timer()
-                with timer.section("evaluation"):
-                    complexes = [
-                        ProteinLigandComplex(
-                            site=site, ligand=r.pose, complex_id=r.compound_id, pose_id=r.pose_id
-                        )
-                        for r in site_records
-                    ]
-                    responses = service.score_many(complexes)
-                store = H5Store()
-                with timer.section("output"):
-                    write_job_output(
-                        store,
-                        site_name,
-                        [r.complex_id for r in responses],
-                        [r.pose_id for r in responses],
-                        np.array([r.score for r in responses]),
-                        job_name=f"{site_name}-serving",
-                        timings=timer.as_dict(),
-                    )
-                predictions = {(r.complex_id, r.pose_id): r.score for r in responses}
-                for record in site_records:
-                    record.fusion_pk = predictions[(record.compound_id, record.pose_id)]
-                job_results.append(
-                    JobResult(
-                        job_name=f"{site_name}-serving",
-                        site_name=site_name,
-                        predictions=predictions,
-                        store=store,
-                        timings=timer.as_dict(),
-                        num_ranks=service.pool.num_replicas,
-                    )
-                )
-        return job_results
+        runtime = self.runtime()
+        result = runtime.run(use_threads=use_threads)
+        assert result is not None  # no stop_after: the run always completes
+        return result
 
-    # ------------------------------------------------------------------ #
-    def _fit_ampl_models(self, database: DockingDatabase, sites: dict[str, BindingSite]) -> dict[str, AMPLSurrogate]:
-        """Fit one AMPL surrogate per site on the MM/GBSA-rescored poses."""
-        models: dict[str, AMPLSurrogate] = {}
-        for site_name in sites:
-            ligands, scores = [], []
-            for compound_id in database.compounds(site_name):
-                best = database.best_pose(site_name, compound_id, by="mmgbsa")
-                if best is None or not np.isfinite(best.mmgbsa_score):
-                    continue
-                ligands.append(best.pose)
-                scores.append(best.mmgbsa_score)
-            if len(ligands) >= 3:
-                models[site_name] = AMPLSurrogate(target=site_name).fit(ligands, np.array(scores))
-        return models
+    def runtime(self, runtime_config=None, checkpoints=None):
+        """Build the stage runtime this facade drives (see :mod:`repro.runtime`)."""
+        # imported lazily: repro.runtime imports this module for the config
+        # and result dataclasses
+        from repro.runtime.campaign import CampaignRuntime, RuntimeConfig
+
+        if runtime_config is None:
+            # The facade preserves the monolith's resource profile: one
+            # fusion job at a time (scores are order-independent either
+            # way, but concurrent jobs multiply peak memory).
+            runtime_config = RuntimeConfig(max_workers=1)
+        return CampaignRuntime(
+            model=self.model,
+            featurizer=self.featurizer,
+            campaign=self.config,
+            runtime=runtime_config,
+            cost_function=self.cost_function,
+            interaction_model=self.interaction_model,
+            checkpoints=checkpoints,
+        )

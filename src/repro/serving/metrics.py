@@ -21,6 +21,7 @@ class MetricsSnapshot:
 
     submitted: int
     completed: int
+    failed: int
     rejected: int
     cache_hits: int
     cache_misses: int
@@ -65,6 +66,7 @@ class ServingMetrics:
         with self._lock:
             self._submitted = 0
             self._completed = 0
+            self._failed = 0
             self._rejected = 0
             self._cache_hits = 0
             self._cache_misses = 0
@@ -85,6 +87,16 @@ class ServingMetrics:
     def record_rejection(self) -> None:
         with self._lock:
             self._rejected += 1
+
+    def record_failure(self) -> None:
+        """Count one admitted request whose batch errored (no completion).
+
+        Keeps the admission ledger closed: every admitted request ends up
+        in exactly one of ``completed`` or ``failed``, so
+        ``submitted == completed + failed`` once traffic drains.
+        """
+        with self._lock:
+            self._failed += 1
 
     def record_completion(self, latency_s: float) -> None:
         with self._lock:
@@ -115,6 +127,7 @@ class ServingMetrics:
             return MetricsSnapshot(
                 submitted=self._submitted,
                 completed=self._completed,
+                failed=self._failed,
                 rejected=self._rejected,
                 cache_hits=self._cache_hits,
                 cache_misses=self._cache_misses,

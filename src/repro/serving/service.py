@@ -245,9 +245,13 @@ class ScoringService:
                 # batcher queue can never exceed them
                 raise RuntimeError("admission accounting violated: queue full after admission")
         except QueueClosed:
+            # already counted as submitted but will never complete: close
+            # the ledger so submitted == completed + failed stays true
+            self.metrics.record_failure()
             self._finish_one()
             raise RuntimeError("ScoringService is closed") from None
         except BaseException:
+            self.metrics.record_failure()
             self._finish_one()
             raise
         return pending
@@ -272,29 +276,51 @@ class ScoringService:
         requests = [ScoreRequest(complex_=c) for c in complexes]
         pendings: list[PendingScore] = []
         misses: list[_WorkItem] = []
-        for request in requests:
-            arrived_at = time.perf_counter()
-            key = request.resolve_key(self.model_fp)
-            pending = PendingScore(request)
-            pendings.append(pending)
-            hit = self.cache.get(key) if self.config.cache_enabled else None
-            if hit is not None:
-                self.metrics.record_submission(cache_hit=True)
-                self.metrics.record_completion(time.perf_counter() - arrived_at)
-                pending._resolve(self._response(request, hit, cached=True))
-                continue
-            self.metrics.record_submission(cache_hit=False)
-            sample = self.featurizer.featurize(request.complex_)
-            misses.append(_WorkItem(request=request, sample=sample, pending=pending, submitted_at=arrived_at))
+        try:
+            for request in requests:
+                arrived_at = time.perf_counter()
+                key = request.resolve_key(self.model_fp)
+                pending = PendingScore(request)
+                pendings.append(pending)
+                hit = self.cache.get(key) if self.config.cache_enabled else None
+                if hit is not None:
+                    self.metrics.record_submission(cache_hit=True)
+                    self.metrics.record_completion(time.perf_counter() - arrived_at)
+                    pending._resolve(self._response(request, hit, cached=True))
+                    continue
+                self.metrics.record_submission(cache_hit=False)
+                try:
+                    sample = self.featurizer.featurize(request.complex_)
+                except BaseException:
+                    self.metrics.record_failure()  # counted as submitted just above
+                    raise
+                misses.append(_WorkItem(request=request, sample=sample, pending=pending, submitted_at=arrived_at))
+        except BaseException:
+            # every not-yet-dispatched miss was counted as submitted but
+            # will never run; fail them so submitted == completed + failed
+            for _ in misses:
+                self.metrics.record_failure()
+            raise
 
         size = self.config.max_batch_size
         for begin in range(0, len(misses), size):
             chunk = misses[begin : begin + size]
             with self._inflight_cond:
                 self._inflight += len(chunk)
-            self.pool.submit(
-                lambda replica, backend, chunk=chunk: self._execute(replica, backend, MicroBatch(items=chunk))
-            )
+            try:
+                self.pool.submit(
+                    lambda replica, backend, chunk=chunk: self._execute(replica, backend, MicroBatch(items=chunk))
+                )
+            except BaseException:
+                # dispatch refused (e.g. pool closed concurrently): undo the
+                # in-flight accounting and fail this chunk plus everything
+                # not yet dispatched, or drain()/close() would hang forever
+                for _ in chunk:
+                    self.metrics.record_failure()
+                    self._finish_one()
+                for _ in misses[begin + size :]:
+                    self.metrics.record_failure()
+                raise
         return [p.result(timeout=timeout) for p in pendings]
 
     # -- introspection ----------------------------------------------------- #
@@ -363,6 +389,7 @@ class ScoringService:
         except BaseException as error:  # propagate to every waiting caller
             logger.error("scoring batch failed on replica %d: %s", replica, error)
             for work in items:
+                self.metrics.record_failure()
                 work.pending._fail(error)
         finally:
             for _ in items:

@@ -45,18 +45,39 @@ def load_npz_dict(path: str | os.PathLike) -> tuple[dict[str, np.ndarray], dict[
         ``data`` maps original keys to arrays, ``meta`` is the stored
         metadata dictionary (empty if none was written).
     """
-    path = os.fspath(path)
-    if not path.endswith(".npz") and not os.path.exists(path):
-        path = path + ".npz"
-    with np.load(path, allow_pickle=False) as archive:
+    with np.load(_resolve_npz_path(path), allow_pickle=False) as archive:
         data: dict[str, np.ndarray] = {}
         meta: dict[str, Any] = {}
         for key in archive.files:
             if key == "__meta__":
-                meta = json.loads(bytes(archive[key].tobytes()).decode("utf-8"))
+                meta = _decode_meta(archive)
             else:
                 data[_unescape_key(key)] = archive[key]
     return data, meta
+
+
+def load_npz_meta(path: str | os.PathLike) -> dict[str, Any]:
+    """Read only the metadata block of a :func:`save_npz_dict` container.
+
+    npz members decompress lazily, so this never touches the (potentially
+    large) array payloads — useful for peeking at attributes of stored
+    checkpoints without materializing them.
+    """
+    with np.load(_resolve_npz_path(path), allow_pickle=False) as archive:
+        if "__meta__" in archive.files:
+            return _decode_meta(archive)
+    return {}
+
+
+def _resolve_npz_path(path: str | os.PathLike) -> str:
+    path = os.fspath(path)
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    return path
+
+
+def _decode_meta(archive: Any) -> dict[str, Any]:
+    return json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
 
 
 def _escape_key(key: str) -> str:

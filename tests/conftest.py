@@ -85,3 +85,19 @@ def campaign(workbench):
         poses_per_compound=2,
         seed=99,
     )
+
+
+@pytest.fixture()
+def checkpoint_dir(tmp_path):
+    """Per-test directory for the runtime's H5Store-backed stage checkpoints."""
+    path = tmp_path / "checkpoints"
+    path.mkdir()
+    return path
+
+
+@pytest.fixture()
+def checkpoint_store(checkpoint_dir):
+    """A disk-backed CheckpointStore rooted in a fresh tmp directory."""
+    from repro.runtime import CheckpointStore
+
+    return CheckpointStore(checkpoint_dir)
