@@ -1,0 +1,79 @@
+"""Content digests of chemistry objects.
+
+A *content digest* is a deterministic hex hash of an object's chemically
+meaningful state — atom elements, coordinates, charges and flags, plus
+bond topology for molecules.  Two objects with the same digest are
+interchangeable for any computation that only reads that state, which is
+what makes digests usable as cache keys: the online scoring service keys
+its result cache on them (together with the model fingerprint), and the
+featurization engine keys its feature cache on them (together with the
+featurizer configuration).
+
+The helpers were originally private to :mod:`repro.serving.requests`;
+they live here so the featurization layer can share them without
+depending on the serving stack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.chem.protein import BindingSite
+
+
+def hash_update_array(hasher, array) -> None:
+    """Feed an array's shape and raw float64 bytes into ``hasher``."""
+    value = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+    hasher.update(str(value.shape).encode())
+    hasher.update(value.tobytes())
+
+
+def hash_update_atoms(hasher, atoms) -> None:
+    """Feed every atom's element, position, charge and flags into ``hasher``."""
+    for atom in atoms:
+        hasher.update(atom.element.encode())
+        hash_update_array(hasher, atom.position)
+        hasher.update(
+            np.float64(atom.partial_charge).tobytes()
+            + bytes(
+                [
+                    int(atom.formal_charge) & 0xFF,
+                    int(atom.hydrophobic),
+                    int(atom.hbond_donor),
+                    int(atom.hbond_acceptor),
+                    int(atom.aromatic),
+                ]
+            )
+        )
+
+
+def molecule_digest(molecule: Molecule) -> str:
+    """Deterministic hex digest of a molecule (atoms, coordinates, bonds)."""
+    hasher = hashlib.sha256()
+    hash_update_atoms(hasher, molecule.atoms)
+    for bond in molecule.bonds:
+        hasher.update(bytes((min(bond.i, bond.j) & 0xFF, max(bond.i, bond.j) & 0xFF, bond.order)))
+    return hasher.hexdigest()
+
+
+def site_digest(site: BindingSite) -> str:
+    """Deterministic hex digest of a binding site (name, target, pocket atoms).
+
+    Binding sites are rigid and orders of magnitude larger than ligands,
+    and a campaign scores thousands of poses against each one, so the
+    digest is memoized on the site instance (as a non-field attribute)
+    rather than recomputed per request.
+    """
+    cached = getattr(site, "_serving_digest", None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(site.name.encode())
+    hasher.update(site.target.encode())
+    hash_update_atoms(hasher, site.atoms)
+    digest = hasher.hexdigest()
+    site._serving_digest = digest
+    return digest

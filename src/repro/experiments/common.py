@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.chem.complexes import InteractionModel
 from repro.datasets.pdbbind import PDBbindConfig, PDBbindDataset, generate_pdbbind
+from repro.featurize.engine import FeaturePipeline
 from repro.featurize.graph import GraphConfig
 from repro.featurize.pipeline import ComplexFeaturizer, FeaturizedComplex
 from repro.featurize.voxelize import VoxelGridConfig
@@ -76,7 +77,7 @@ class Workbench:
 
     scale: WorkbenchScale
     dataset: PDBbindDataset
-    featurizer: ComplexFeaturizer
+    featurizer: ComplexFeaturizer | FeaturePipeline
     train_samples: list[FeaturizedComplex]
     val_samples: list[FeaturizedComplex]
     core_samples: list[FeaturizedComplex]
@@ -141,11 +142,16 @@ def _build_workbench(scale: WorkbenchScale) -> Workbench:
         seed=scale.seed,
     )
     dataset = generate_pdbbind(config)
-    featurizer = ComplexFeaturizer(
+    # the vectorized engine: bit-identical to ComplexFeaturizer (including
+    # the seeded augmentation stream), with a content-addressed feature
+    # cache that serves repeat featurizations across evaluation passes,
+    # campaign rescoring and the serving route
+    featurizer = FeaturePipeline(
         voxel_config=VoxelGridConfig(grid_dim=scale.grid_dim, channel_set="reduced"),
         graph_config=GraphConfig(),
         augment=True,
         seed=scale.seed,
+        cache_capacity=2048,
     )
     train_entries, val_entries = dataset.train_val_split(rng=scale.seed)
     train_samples = dataset.featurize_entries(train_entries, featurizer, training=True)

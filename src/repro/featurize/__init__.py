@@ -9,14 +9,35 @@ in CI time; the paper-scale settings remain available through the
 configuration dataclasses.
 """
 
-from repro.featurize.atom_features import ATOM_FEATURE_DIM, atom_feature_vector
+from repro.featurize.atom_features import (
+    ATOM_FEATURE_DIM,
+    AtomArrays,
+    atom_arrays,
+    atom_feature_vector,
+    feature_matrix_from_arrays,
+)
 from repro.featurize.voxelize import VoxelGridConfig, Voxelizer, random_axis_rotation
 from repro.featurize.graph import GraphBuilder, GraphConfig
 from repro.featurize.pipeline import ComplexFeaturizer, FeaturizedComplex, collate_complexes
+from repro.featurize.cache import (
+    FeatureCache,
+    FeatureCacheStats,
+    H5FeatureStore,
+    feature_key,
+    featurizer_config_digest,
+)
+from repro.featurize.engine import (
+    FeaturePipeline,
+    VectorizedGraphBuilder,
+    VectorizedVoxelizer,
+)
 
 __all__ = [
     "ATOM_FEATURE_DIM",
+    "AtomArrays",
+    "atom_arrays",
     "atom_feature_vector",
+    "feature_matrix_from_arrays",
     "VoxelGridConfig",
     "Voxelizer",
     "random_axis_rotation",
@@ -25,4 +46,12 @@ __all__ = [
     "ComplexFeaturizer",
     "FeaturizedComplex",
     "collate_complexes",
+    "FeatureCache",
+    "FeatureCacheStats",
+    "H5FeatureStore",
+    "feature_key",
+    "featurizer_config_digest",
+    "FeaturePipeline",
+    "VectorizedGraphBuilder",
+    "VectorizedVoxelizer",
 ]

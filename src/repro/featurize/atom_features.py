@@ -1,6 +1,20 @@
-"""Per-atom feature vectors shared by the voxel and graph featurizers."""
+"""Per-atom feature vectors shared by the voxel and graph featurizers.
+
+Two representations live here:
+
+* :func:`atom_feature_vector` / :func:`atom_feature_matrix` — the scalar
+  reference path, one Python call per atom;
+* :class:`AtomArrays` / :func:`feature_matrix_from_arrays` — the
+  vectorized path used by :mod:`repro.featurize.engine`.  Atom objects
+  are read once into flat NumPy arrays and every downstream quantity
+  (one-hot encodings, channel memberships, Gaussian widths) is computed
+  by array operations.  The two paths produce bit-identical matrices.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -56,3 +70,107 @@ def atom_feature_matrix(atoms, is_ligand_flags) -> np.ndarray:
     return np.array(
         [atom_feature_vector(a, flag) for a, flag in zip(atoms, is_ligand_flags)], dtype=np.float64
     )
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized path
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AtomArrays:
+    """Flat per-atom property arrays extracted in one pass over the atoms.
+
+    Every field has length ``num_atoms``; boolean flags are stored as
+    float64 0/1 so they can be used directly as channel weights and
+    feature-matrix columns (``float(flag)`` in the scalar path produces
+    exactly the same 0.0/1.0 values).
+    """
+
+    coords: np.ndarray  # (N, 3) float64
+    elem_idx: np.ndarray  # index into ELEMENT_CLASSES
+    is_halogen: np.ndarray  # bool
+    hydrophobic: np.ndarray  # float64 0/1
+    hbond_donor: np.ndarray  # float64 0/1
+    hbond_acceptor: np.ndarray  # float64 0/1
+    aromatic: np.ndarray  # float64 0/1
+    partial_charge: np.ndarray  # float64
+    formal_charge: np.ndarray  # float64
+    vdw_radius: np.ndarray  # float64
+
+    @property
+    def num_atoms(self) -> int:
+        return int(self.coords.shape[0])
+
+
+def atom_arrays(atoms: Sequence[Atom]) -> AtomArrays:
+    """Extract :class:`AtomArrays` from a list of atoms (single Python pass)."""
+    n = len(atoms)
+    coords = np.empty((n, 3), dtype=np.float64)
+    elem_idx = np.empty(n, dtype=np.intp)
+    halogen = np.empty(n, dtype=bool)
+    flags = np.empty((n, 4), dtype=np.float64)  # hydrophobic, donor, acceptor, aromatic
+    charges = np.empty((n, 2), dtype=np.float64)  # partial, formal
+    vdw = np.empty(n, dtype=np.float64)
+    for index, atom in enumerate(atoms):
+        coords[index] = atom.position
+        elem_idx[index] = element_class(atom)
+        halogen[index] = atom.is_halogen
+        flags[index, 0] = float(atom.hydrophobic)
+        flags[index, 1] = float(atom.hbond_donor)
+        flags[index, 2] = float(atom.hbond_acceptor)
+        flags[index, 3] = float(atom.aromatic)
+        charges[index, 0] = float(atom.partial_charge)
+        charges[index, 1] = float(atom.formal_charge)
+        vdw[index] = atom.vdw_radius
+    return AtomArrays(
+        coords=coords,
+        elem_idx=elem_idx,
+        is_halogen=halogen,
+        hydrophobic=flags[:, 0].copy(),
+        hbond_donor=flags[:, 1].copy(),
+        hbond_acceptor=flags[:, 2].copy(),
+        aromatic=flags[:, 3].copy(),
+        partial_charge=charges[:, 0].copy(),
+        formal_charge=charges[:, 1].copy(),
+        vdw_radius=vdw,
+    )
+
+
+def feature_matrix_from_arrays(arrays: AtomArrays, is_ligand: bool | np.ndarray) -> np.ndarray:
+    """Vectorized equivalent of :func:`atom_feature_matrix`.
+
+    ``is_ligand`` is either one flag for all atoms or a per-atom boolean
+    array.  Bit-identical to the scalar path: every column is either an
+    exact 0/1 one-hot or a copy of the same float64 values.
+    """
+    n = arrays.num_atoms
+    matrix = np.zeros((n, ATOM_FEATURE_DIM), dtype=np.float64)
+    matrix[np.arange(n), arrays.elem_idx] = 1.0
+    offset = len(ELEMENT_CLASSES)
+    matrix[:, offset + 0] = arrays.hydrophobic
+    matrix[:, offset + 1] = arrays.hbond_donor
+    matrix[:, offset + 2] = arrays.hbond_acceptor
+    matrix[:, offset + 3] = arrays.aromatic
+    matrix[:, offset + 4] = arrays.partial_charge
+    matrix[:, offset + 5] = arrays.formal_charge
+    if isinstance(is_ligand, np.ndarray):
+        matrix[:, offset + 6] = is_ligand.astype(np.float64)
+    elif is_ligand:
+        matrix[:, offset + 6] = 1.0
+    return matrix
+
+
+def site_arrays(site) -> tuple[AtomArrays, np.ndarray]:
+    """Cached ``(AtomArrays, pocket feature matrix)`` for a binding site.
+
+    Binding sites are rigid and shared across thousands of poses, so the
+    extraction (the only per-atom Python work left in the vectorized
+    path) runs once per site; the result is memoized on the site
+    instance like :func:`repro.chem.digest.site_digest`.
+    """
+    cached = getattr(site, "_featurize_arrays", None)
+    if cached is not None:
+        return cached
+    arrays = atom_arrays(site.atoms)
+    features = feature_matrix_from_arrays(arrays, is_ligand=False)
+    site._featurize_arrays = (arrays, features)
+    return site._featurize_arrays

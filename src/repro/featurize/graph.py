@@ -134,7 +134,14 @@ class GraphBuilder:
 
 
 def _cap_neighbours(adjacency: np.ndarray, k: int) -> np.ndarray:
-    """Keep only the ``k`` strongest entries per row (symmetrized afterwards)."""
+    """Keep only the ``k`` strongest entries per row (symmetrized afterwards).
+
+    Ties are broken deterministically (stable sort, higher column index
+    wins) so that the vectorized engine in
+    :mod:`repro.featurize.engine`, which selects the same entries via a
+    full-row stable argsort, is bit-identical to this reference even when
+    two neighbours sit at exactly the same distance.
+    """
     n = adjacency.shape[0]
     if n == 0 or k >= n:
         return adjacency
@@ -145,7 +152,7 @@ def _cap_neighbours(adjacency: np.ndarray, k: int) -> np.ndarray:
         if nonzero.size == 0:
             continue
         if nonzero.size > k:
-            top = nonzero[np.argsort(row[nonzero])[-k:]]
+            top = nonzero[np.argsort(row[nonzero], kind="stable")[-k:]]
         else:
             top = nonzero
         capped[i, top] = row[top]

@@ -9,7 +9,7 @@ from repro.models.config import (
 )
 from repro.models.cnn3d import CNN3D
 from repro.models.sgcnn import SGCNN
-from repro.models.fusion import CoherentFusion, FusionNetwork, LateFusion, MidFusion
+from repro.models.fusion import BatchScoringMixin, CoherentFusion, FusionNetwork, LateFusion, MidFusion
 from repro.models.train import TrainingHistory, Trainer, TrainerConfig
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "CoherentFusionConfig",
     "CNN3D",
     "SGCNN",
+    "BatchScoringMixin",
     "FusionNetwork",
     "LateFusion",
     "MidFusion",

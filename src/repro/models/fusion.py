@@ -13,8 +13,11 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+from repro.featurize.pipeline import FeaturizedComplex, collate_complexes
 from repro.models.cnn3d import CNN3D
 from repro.models.config import CoherentFusionConfig, FusionConfig, MidFusionConfig
 from repro.models.sgcnn import SGCNN
@@ -24,7 +27,36 @@ from repro.nn.tensor import Tensor, no_grad
 from repro.utils.rng import spawn_rng
 
 
-class LateFusion(Module):
+class BatchScoringMixin:
+    """Batched inference entry point shared by the fusion models.
+
+    ``predict_batch`` is what campaign fusion scoring (the distributed
+    scoring jobs and the serving backend) calls: it accepts either an
+    already-collated batch dict or a sequence of
+    :class:`~repro.featurize.pipeline.FeaturizedComplex` samples straight
+    from the featurization engine, runs one inference-mode forward pass
+    and returns plain float64 scores.  The ops are exactly the scoring
+    loops' historical ``no_grad`` forward, so routing through this entry
+    point is bit-neutral.
+    """
+
+    def predict_batch(self, batch: dict | Sequence[FeaturizedComplex]) -> np.ndarray:
+        """Score one feature batch; returns a ``(N,)`` float64 array."""
+        if not isinstance(batch, dict):
+            batch = collate_complexes(list(batch))
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            with no_grad():
+                out = self(batch)
+            return np.asarray(out.numpy(), dtype=np.float64).reshape(-1)
+        finally:
+            if was_training:
+                self.train()
+
+
+class LateFusion(BatchScoringMixin, Module):
     """Unweighted mean of the 3D-CNN and SG-CNN predictions (Equation 1 labels)."""
 
     def __init__(self, cnn3d: CNN3D, sgcnn: SGCNN) -> None:
@@ -37,7 +69,7 @@ class LateFusion(Module):
         return (self.cnn3d(batch) + self.sgcnn(batch)) * 0.5
 
 
-class FusionNetwork(Module):
+class FusionNetwork(BatchScoringMixin, Module):
     """Shared implementation of Mid-level and Coherent Fusion.
 
     Parameters

@@ -39,6 +39,7 @@ from repro.datasets.assays import make_assay_panel, simulate_campaign_assays
 from repro.datasets.libraries import build_screening_deck
 from repro.docking.ampl import AMPLSurrogate
 from repro.docking.conveyorlc import CDT1Receptor, CDT2Ligand, CDT3Docking, CDT4Mmgbsa
+from repro.featurize.engine import FeaturePipeline
 from repro.featurize.pipeline import ComplexFeaturizer
 from repro.hpc.cluster import SimulatedCluster
 from repro.hpc.faults import FaultInjector
@@ -106,7 +107,7 @@ class CampaignRuntime:
     def __init__(
         self,
         model: Module,
-        featurizer: ComplexFeaturizer,
+        featurizer: ComplexFeaturizer | FeaturePipeline,
         campaign: CampaignConfig | None = None,
         runtime: RuntimeConfig | None = None,
         cost_function: CompoundCostFunction | None = None,
@@ -153,7 +154,11 @@ class CampaignRuntime:
 
         A changed grid resolution or graph cutoff changes model inputs
         (and therefore scores), so it must invalidate the fusion
-        checkpoint just like a model-weight swap does.
+        checkpoint just like a model-weight swap does.  The scalar
+        ``ComplexFeaturizer`` and the vectorized ``FeaturePipeline``
+        expose the same config attributes and produce bit-identical
+        features, so swapping one for the other deliberately leaves the
+        digest (and every fusion checkpoint) intact.
         """
         f = self.featurizer
         return (
@@ -346,6 +351,8 @@ class CampaignRuntime:
     def _stage_fusion_scoring(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
         database = context["database"]
         sites = context["sites"]
+        feature_cache = getattr(self.featurizer, "cache", None)
+        cache_before = feature_cache.stats() if feature_cache is not None else None
         runner = JobRunner(
             max_workers=self.runtime.max_workers,
             fault_injector=self.runtime.fault_injector,
@@ -364,6 +371,22 @@ class CampaignRuntime:
                 report.faults = [str(fault) for fault in runner.fault_log]
         if self.runtime.modelled_schedule and jobs:
             report.extra["modelled_schedule"] = self._modelled_schedule(jobs)
+        if feature_cache is not None:
+            # observability: how much featurization this stage's scoring put
+            # through the engine's cache.  Counters are deltas over the stage
+            # (the workbench featurizer is shared across runs, so lifetime
+            # totals would conflate unrelated work); size/capacity/bytes are
+            # current values.
+            stats = feature_cache.stats()
+            report.extra["feature_cache"] = {
+                "lookups": stats.lookups - cache_before.lookups,
+                "hits": stats.hits - cache_before.hits,
+                "misses": stats.misses - cache_before.misses,
+                "evictions": stats.evictions - cache_before.evictions,
+                "size": stats.size,
+                "capacity": stats.capacity,
+                "bytes": stats.bytes,
+            }
         return {"database": database, "job_results": job_results}
 
     def _stage_cost_function(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:

@@ -33,6 +33,7 @@ import numpy as np
 from repro.chem.complexes import ProteinLigandComplex
 from repro.chem.protein import BindingSite
 from repro.docking.conveyorlc import DockingRecord
+from repro.featurize.engine import FeaturePipeline
 from repro.featurize.pipeline import ComplexFeaturizer
 from repro.hpc.faults import FaultEvent, FaultInjector
 from repro.hpc.h5store import H5Store
@@ -199,7 +200,7 @@ class BatchStageExecutor(StageExecutor):
     def __init__(
         self,
         model: Module,
-        featurizer: ComplexFeaturizer,
+        featurizer: ComplexFeaturizer | FeaturePipeline,
         poses_per_job: int = 200,
         num_nodes: int = 4,
         gpus_per_node: int = 4,
@@ -257,7 +258,7 @@ class ServingStageExecutor(StageExecutor):
     def __init__(
         self,
         model: Module,
-        featurizer: ComplexFeaturizer,
+        featurizer: ComplexFeaturizer | FeaturePipeline,
         serving_config: ServingConfig | None = None,
         timeout_s: float = 300.0,
     ) -> None:

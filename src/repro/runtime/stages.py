@@ -110,7 +110,13 @@ class StageGraph:
 
 @dataclass
 class StageReport:
-    """What happened to one stage during one :meth:`CampaignRuntime.run`."""
+    """What happened to one stage during one :meth:`CampaignRuntime.run`.
+
+    ``extra`` carries stage-specific observability payloads; the fusion
+    scoring stage records ``"modelled_schedule"`` (simulated-LSF
+    projection) and ``"feature_cache"`` (hit/miss/eviction counters of
+    the featurization engine's content-addressed cache) there.
+    """
 
     name: str
     key: str

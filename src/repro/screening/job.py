@@ -21,6 +21,7 @@ import numpy as np
 from repro.chem.complexes import ProteinLigandComplex
 from repro.chem.protein import BindingSite
 from repro.docking.conveyorlc import DockingRecord
+from repro.featurize.engine import FeaturePipeline
 from repro.featurize.pipeline import ComplexFeaturizer, collate_complexes
 from repro.hpc.h5store import H5Store
 from repro.hpc.horovod import HorovodContext
@@ -81,7 +82,7 @@ class FusionScoringJob:
     """
 
     model: Module
-    featurizer: ComplexFeaturizer
+    featurizer: ComplexFeaturizer | FeaturePipeline
     site: BindingSite
     records: Sequence[DockingRecord]
     num_nodes: int = 4
@@ -137,17 +138,21 @@ class FusionScoringJob:
             pose_ids: list[int] = []
             predictions: list[float] = []
             if my_records:
-                samples = [
-                    self.featurizer.featurize(
+                # featurize the rank's slice through the featurizer's batch
+                # entry point: the vectorized engine featurizes (and caches)
+                # whole pose batches, while the scalar reference loops —
+                # either way the samples are bit-identical
+                samples = self.featurizer.featurize_many(
+                    [
                         ProteinLigandComplex(
                             site=self.site,
                             ligand=record.pose,
                             complex_id=record.compound_id,
                             pose_id=record.pose_id,
                         )
-                    )
-                    for record in my_records
-                ]
+                        for record in my_records
+                    ]
+                )
                 loader = DataLoader(
                     InMemoryDataset(samples),
                     batch_size=self.batch_size_per_rank,
@@ -155,9 +160,13 @@ class FusionScoringJob:
                     num_workers=self.num_data_workers,
                     collate_fn=collate_complexes,
                 )
+                predict = getattr(self.model, "predict_batch", None)
                 with no_grad():
                     for batch in loader:
-                        outputs = self.model(batch).numpy()
+                        if predict is not None:
+                            outputs = predict(batch)
+                        else:
+                            outputs = self.model(batch).numpy()
                         ids.extend(batch["ids"])
                         pose_ids.extend(int(p) for p in batch["pose_ids"])
                         predictions.extend(float(v) for v in outputs)

@@ -25,6 +25,7 @@ from repro.chem.protein import BindingSite
 from repro.datasets.assays import CampaignAssayTable
 from repro.docking.ampl import AMPLSurrogate
 from repro.docking.conveyorlc import DockingDatabase
+from repro.featurize.engine import FeaturePipeline
 from repro.featurize.pipeline import ComplexFeaturizer
 from repro.hpc.h5store import H5Store
 from repro.nn.module import Module
@@ -85,12 +86,19 @@ class CampaignResult:
 
 
 class ScreeningCampaign:
-    """Run the full screening campaign with a trained fusion model."""
+    """Run the full screening campaign with a trained fusion model.
+
+    ``featurizer`` may be the scalar reference
+    (:class:`~repro.featurize.pipeline.ComplexFeaturizer`) or the
+    vectorized engine (:class:`~repro.featurize.engine.FeaturePipeline`);
+    the two produce bit-identical features, so campaign results do not
+    depend on the choice — only throughput does.
+    """
 
     def __init__(
         self,
         model: Module,
-        featurizer: ComplexFeaturizer,
+        featurizer: ComplexFeaturizer | FeaturePipeline,
         config: CampaignConfig | None = None,
         cost_function: CompoundCostFunction | None = None,
         interaction_model: InteractionModel | None = None,

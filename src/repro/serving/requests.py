@@ -13,65 +13,14 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.chem.complexes import ProteinLigandComplex
-from repro.chem.molecule import Molecule
-from repro.chem.protein import BindingSite
+
+# Digest helpers moved to repro.chem.digest so the featurization engine's
+# feature cache can share them; re-exported here for backwards
+# compatibility (campaign keys and tests import them from this module).
+from repro.chem.digest import hash_update_array as _hash_update_array
+from repro.chem.digest import molecule_digest, site_digest
 from repro.nn.module import Module
-
-
-def _hash_update_array(hasher, array) -> None:
-    value = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
-    hasher.update(str(value.shape).encode())
-    hasher.update(value.tobytes())
-
-
-def _hash_update_atoms(hasher, atoms) -> None:
-    for atom in atoms:
-        hasher.update(atom.element.encode())
-        _hash_update_array(hasher, atom.position)
-        hasher.update(
-            np.float64(atom.partial_charge).tobytes()
-            + bytes(
-                [
-                    int(atom.formal_charge) & 0xFF,
-                    int(atom.hydrophobic),
-                    int(atom.hbond_donor),
-                    int(atom.hbond_acceptor),
-                    int(atom.aromatic),
-                ]
-            )
-        )
-
-
-def molecule_digest(molecule: Molecule) -> str:
-    """Deterministic hex digest of a molecule (atoms, coordinates, bonds)."""
-    hasher = hashlib.sha256()
-    _hash_update_atoms(hasher, molecule.atoms)
-    for bond in molecule.bonds:
-        hasher.update(bytes((min(bond.i, bond.j) & 0xFF, max(bond.i, bond.j) & 0xFF, bond.order)))
-    return hasher.hexdigest()
-
-
-def site_digest(site: BindingSite) -> str:
-    """Deterministic hex digest of a binding site (name, target, pocket atoms).
-
-    Binding sites are rigid and orders of magnitude larger than ligands,
-    and a campaign scores thousands of poses against each one, so the
-    digest is memoized on the site instance (as a non-field attribute)
-    rather than recomputed per request.
-    """
-    cached = getattr(site, "_serving_digest", None)
-    if cached is not None:
-        return cached
-    hasher = hashlib.sha256()
-    hasher.update(site.name.encode())
-    hasher.update(site.target.encode())
-    _hash_update_atoms(hasher, site.atoms)
-    digest = hasher.hexdigest()
-    site._serving_digest = digest
-    return digest
 
 
 def model_fingerprint(model: Module) -> str:

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.chem.complexes import ProteinLigandComplex
+from repro.featurize.engine import FeaturePipeline
 from repro.featurize.pipeline import ComplexFeaturizer, FeaturizedComplex
 from repro.nn.module import Module
 from repro.serving.batcher import MicroBatch, MicroBatcher, QueueClosed, collate_request_batch
@@ -118,7 +119,7 @@ class ScoringService:
     def __init__(
         self,
         model: Module | None = None,
-        featurizer: ComplexFeaturizer | None = None,
+        featurizer: ComplexFeaturizer | FeaturePipeline | None = None,
         config: ServingConfig | None = None,
         backend: ScoringBackend | None = None,
         cache_store: H5CacheAdapter | None = None,
@@ -326,6 +327,19 @@ class ScoringService:
     # -- introspection ----------------------------------------------------- #
     def snapshot(self) -> MetricsSnapshot:
         return self.metrics.snapshot()
+
+    def feature_cache_stats(self):
+        """Counters of the featurizer's content-addressed feature cache.
+
+        When the service is built on a
+        :class:`~repro.featurize.engine.FeaturePipeline`, repeated
+        rescoring requests reuse cached *features* even when the result
+        cache cannot serve them — e.g. after a model swap invalidates
+        every score key, featurization (whose keys ignore model weights)
+        still hits.  Returns ``None`` for featurizers without a cache.
+        """
+        cache = getattr(self.featurizer, "cache", None)
+        return cache.stats() if cache is not None else None
 
     def save_cache(self, adapter: H5CacheAdapter | None = None) -> H5CacheAdapter:
         """Persist the warm result cache for the next session."""

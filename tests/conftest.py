@@ -55,6 +55,20 @@ def example_complex(protease_site, prepared_ligands):
 
 
 @pytest.fixture(scope="session")
+def pose_complexes(protease_site, prepared_ligands):
+    """Several distinct poses in one site, for the featurization-engine tests."""
+    complexes = []
+    for index, prepared in enumerate(prepared_ligands):
+        ligand = prepared.molecule
+        offset = np.array([0.4 * index - 1.0, 0.3 * (index % 3) - 0.3, -2.0 + 0.5 * index])
+        ligand = ligand.translate(-ligand.centroid() + offset)
+        complexes.append(
+            ProteinLigandComplex(protease_site, ligand, complex_id=f"pose{index}", pose_id=index)
+        )
+    return complexes
+
+
+@pytest.fixture(scope="session")
 def interaction_model():
     return InteractionModel()
 
