@@ -32,6 +32,19 @@ from repro.chem.protein import BindingSite
 #: RT ln(10) at 298 K in kcal/mol — converts pK to binding free energy.
 PK_TO_KCAL = 1.364
 
+# Pairwise-term constants shared by the scalar ``compute_terms``, the hot
+# ``batch_kernel`` closure and the grouped ``_pairwise_terms`` kernel —
+# one definition keeps the three implementations bit-identical by
+# construction instead of by test.
+_GAUSS1_WIDTH = 0.8
+_GAUSS2_OFFSET = 2.0
+_GAUSS2_WIDTH = 2.5
+_GAUSS2_WEIGHT = 0.4
+_HYDROPHOBIC_RAMP = 1.8
+_HBOND_RAMP = 0.9
+_BURIAL_CONTACT = 4.5
+_ELECTROSTATIC_FLOOR = 1.0
+
 
 @dataclass
 class ProteinLigandComplex:
@@ -104,6 +117,71 @@ class InteractionTerms:
         )
 
 
+#: Upper bound on poses per grouped-terms batch: a chunk's pairwise
+#: tensors stay in the tens of megabytes even for large ligands, where an
+#: unchunked site-level rescoring batch (thousands of poses) would
+#: materialize multi-GB intermediates.
+GROUPED_TERMS_CHUNK_POSES = 256
+
+
+@dataclass(frozen=True)
+class BatchedInteractionTerms:
+    """Interaction terms of ``P`` poses; every field is a ``(P,)`` float64 array.
+
+    Produced by :meth:`InteractionModel.compute_terms_batch`: one broadcast
+    pairwise computation over a stacked pose tensor replaces ``P`` scalar
+    :meth:`InteractionModel.compute_terms` calls, bit-identically.
+    """
+
+    shape: np.ndarray
+    repulsion: np.ndarray
+    hydrophobic: np.ndarray
+    hbond: np.ndarray
+    electrostatic: np.ndarray
+    buried_fraction: np.ndarray
+    rotatable_bonds: np.ndarray
+    ligand_heavy_atoms: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.shape.shape[0])
+
+    def term(self, index: int) -> InteractionTerms:
+        """Scalar :class:`InteractionTerms` view of pose ``index``."""
+        return InteractionTerms(
+            shape=float(self.shape[index]),
+            repulsion=float(self.repulsion[index]),
+            hydrophobic=float(self.hydrophobic[index]),
+            hbond=float(self.hbond[index]),
+            electrostatic=float(self.electrostatic[index]),
+            buried_fraction=float(self.buried_fraction[index]),
+            rotatable_bonds=float(self.rotatable_bonds[index]),
+            ligand_heavy_atoms=float(self.ligand_heavy_atoms[index]),
+        )
+
+
+def ligand_interaction_arrays(ligand: Molecule):
+    """Cached ``(AtomArrays, rotatable_bonds, heavy_atoms)`` for a ligand.
+
+    Rigid-body docking changes only coordinates, so the per-atom property
+    arrays (and the topology-derived rotatable-bond count, which costs a
+    networkx cycle basis per scalar ``compute_terms`` call) are extracted
+    once per molecule and memoized on the instance.  Callers must pass
+    pose coordinates explicitly — the cached ``coords`` field reflects the
+    molecule at extraction time and is never read by the batched kernel.
+    """
+    cached = getattr(ligand, "_interaction_arrays", None)
+    if cached is None:
+        from repro.featurize.atom_features import atom_arrays
+
+        cached = (
+            atom_arrays(ligand.atoms),
+            float(ligand.rotatable_bonds()),
+            float(ligand.num_atoms),
+        )
+        ligand._interaction_arrays = cached
+    return cached
+
+
 class InteractionModel:
     """Latent physics defining ground-truth binding affinity.
 
@@ -153,9 +231,9 @@ class InteractionModel:
 
         within = dist <= self.cutoff
         # shape complementarity: two Vina-style gaussians of the surface distance
-        gauss1 = np.exp(-((surface_dist / 0.8) ** 2))
-        gauss2 = np.exp(-(((surface_dist - 2.0) / 2.5) ** 2))
-        shape = float(((gauss1 + 0.4 * gauss2) * within).sum())
+        gauss1 = np.exp(-((surface_dist / _GAUSS1_WIDTH) ** 2))
+        gauss2 = np.exp(-(((surface_dist - _GAUSS2_OFFSET) / _GAUSS2_WIDTH) ** 2))
+        shape = float(((gauss1 + _GAUSS2_WEIGHT * gauss2) * within).sum())
 
         # steric clash: quadratic in surface overlap
         overlap = np.where(surface_dist < 0, surface_dist, 0.0)
@@ -163,7 +241,7 @@ class InteractionModel:
 
         lig_hydro = np.array([a.hydrophobic for a in lig_atoms], dtype=float)
         pocket_hydro = np.array([a.hydrophobic for a in pocket_atoms], dtype=float)
-        hydro_ramp = np.clip((1.8 - surface_dist) / 1.8, 0.0, 1.0)
+        hydro_ramp = np.clip((_HYDROPHOBIC_RAMP - surface_dist) / _HYDROPHOBIC_RAMP, 0.0, 1.0)
         hydrophobic = float(
             ((lig_hydro[:, None] * pocket_hydro[None, :]) * hydro_ramp * within).sum()
         )
@@ -176,17 +254,21 @@ class InteractionModel:
             lig_donor[:, None] * pocket_acceptor[None, :]
             + lig_acceptor[:, None] * pocket_donor[None, :]
         )
-        hbond_ramp = np.clip((0.9 - surface_dist) / 0.9, 0.0, 1.0)
+        hbond_ramp = np.clip((_HBOND_RAMP - surface_dist) / _HBOND_RAMP, 0.0, 1.0)
         hbond = float((hbond_pairs * hbond_ramp * within).sum())
 
         lig_q = np.array([a.partial_charge for a in lig_atoms])
         pocket_q = np.array([a.partial_charge for a in pocket_atoms])
         electrostatic = float(
-            ((-lig_q[:, None] * pocket_q[None, :]) / np.maximum(dist, 1.0) * within).sum()
+            (
+                (-lig_q[:, None] * pocket_q[None, :])
+                / np.maximum(dist, _ELECTROSTATIC_FLOOR)
+                * within
+            ).sum()
         )
 
         # fraction of ligand atoms buried in the pocket (any contact < 4.5 A)
-        buried = float((dist.min(axis=1) < 4.5).mean())
+        buried = float((dist.min(axis=1) < _BURIAL_CONTACT).mean())
 
         return InteractionTerms(
             shape=shape,
@@ -200,10 +282,235 @@ class InteractionModel:
         )
 
     # ------------------------------------------------------------------ #
+    # batched kernel
+    # ------------------------------------------------------------------ #
+    def compute_terms_batch(self, site, ligand: Molecule, coords) -> BatchedInteractionTerms:
+        """Batched :meth:`compute_terms`: ``P`` rigid-body poses of one ligand.
+
+        Parameters
+        ----------
+        site:
+            The (rigid) binding site; its property arrays are extracted
+            once and memoized on the instance (shared with the
+            featurization engine's :func:`site_arrays` cache).
+        ligand:
+            Template molecule providing per-atom properties and topology;
+            its own coordinates are ignored.
+        coords:
+            ``(P, num_atoms, 3)`` stacked pose coordinates (a single
+            ``(num_atoms, 3)`` pose is promoted to ``P = 1``).
+
+        Bit-identical to ``P`` scalar ``compute_terms`` calls: every
+        elementwise operation mirrors the scalar expression and every
+        reduction runs over the same contiguous per-pose memory layout.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim == 2:
+            coords = coords[None, :, :]
+        if coords.ndim != 3 or coords.shape[2] != 3:
+            raise ValueError(f"expected pose coordinates of shape (P, N, 3), got {coords.shape}")
+        if coords.shape[1] != ligand.num_atoms:
+            raise ValueError(
+                f"pose tensor has {coords.shape[1]} atoms but ligand has {ligand.num_atoms}"
+            )
+        return self.batch_kernel(site, ligand)(coords)
+
+    def batch_kernel(self, site, ligand: Molecule):
+        """Pairwise-interaction kernel bound to one ``(site, ligand)`` pair.
+
+        Every coordinate-independent quantity — pocket arrays, ligand
+        property arrays, the vdW radii sums and the hydrophobic /
+        hydrogen-bond / charge pair products — is computed once here;
+        the returned closure maps a stacked ``(P, N, 3)`` pose tensor to
+        :class:`BatchedInteractionTerms` doing only coordinate-dependent
+        work.  This is the hot path of the lockstep Monte-Carlo docker:
+        one ``dock()`` builds the kernel once and calls it per MC step.
+        """
+        from repro.featurize.atom_features import site_arrays
+
+        arrays, rotatable, heavy = ligand_interaction_arrays(ligand)
+        pocket = site_arrays(site)[0]
+        if arrays.num_atoms == 0 or pocket.num_atoms == 0:
+            raise ValueError("complex must contain both ligand and pocket atoms")
+        radii_sum = arrays.vdw_radius[:, None] + pocket.vdw_radius
+        hydro_flat = (arrays.hydrophobic[:, None] * pocket.hydrophobic).ravel()
+        hbond_flat = (
+            arrays.hbond_donor[:, None] * pocket.hbond_acceptor
+            + arrays.hbond_acceptor[:, None] * pocket.hbond_donor
+        ).ravel()
+        charge_flat = (-arrays.partial_charge[:, None] * pocket.partial_charge).ravel()
+        pocket_coords = pocket.coords
+        cutoff = self.cutoff
+        n_lig, n_pocket = arrays.num_atoms, pocket.num_atoms
+        pairs_per_pose = n_lig * n_pocket
+        # per-batch-width scratch buffers: the MC docker calls the kernel
+        # hundreds of times at a fixed width, so the full-size
+        # intermediates are written in place instead of allocated per call
+        scratch: dict[int, dict[str, np.ndarray]] = {}
+
+        def buffers(num_poses: int) -> dict[str, np.ndarray]:
+            buf = scratch.get(num_poses)
+            if buf is None:
+                pair_shape = (num_poses, n_lig, n_pocket)
+                buf = {
+                    "deltas": np.empty(pair_shape + (3,)),
+                    "dist": np.empty(pair_shape),
+                    "surface": np.empty(pair_shape),
+                    "within": np.empty(pair_shape, dtype=bool),
+                    "terms": np.empty((5,) + pair_shape),
+                    "min_dist": np.empty((num_poses, n_lig)),
+                    "buried": np.empty((num_poses, n_lig), dtype=bool),
+                    "rotatable": np.full(num_poses, rotatable),
+                    "heavy": np.full(num_poses, heavy),
+                }
+                scratch[num_poses] = buf
+            return buf
+
+        def kernel(coords: np.ndarray) -> BatchedInteractionTerms:
+            num_poses = coords.shape[0]
+            buf = buffers(num_poses)
+            deltas, dist = buf["deltas"], buf["dist"]
+            surface, within, terms = buf["surface"], buf["within"], buf["terms"]
+
+            np.subtract(coords[:, :, None, :], pocket_coords[None, None, :, :], out=deltas)
+            # norm: same square / ((x+y)+z) / sqrt sequence as the scalar
+            # path's np.linalg.norm add.reduce over the length-3 axis
+            np.multiply(deltas, deltas, out=deltas)
+            np.add(deltas[..., 0], deltas[..., 1], out=dist)
+            np.add(dist, deltas[..., 2], out=dist)
+            np.sqrt(dist, out=dist)
+            np.subtract(dist, radii_sum, out=surface)
+            np.less_equal(dist, cutoff, out=within)
+
+            # Every term is a pairwise quantity times ``within``, so the
+            # expensive transcendental math runs only on the within-cutoff
+            # pairs; scattering into zeroed buffers reproduces exactly the
+            # +0.0 the scalar ``* within`` writes elsewhere (each factor
+            # multiplied by ``within`` is non-negative and finite), and
+            # the per-pose sums then reduce the same contiguous rows.
+            inside = np.nonzero(within.ravel())[0]
+            pair_index = inside % pairs_per_pose
+            s = surface.ravel()[inside]
+            d = dist.ravel()[inside]
+            terms[...] = 0.0
+            flat = terms.reshape(5, -1)
+
+            gauss1 = np.exp(-((s / _GAUSS1_WIDTH) ** 2))
+            gauss2 = np.exp(-(((s - _GAUSS2_OFFSET) / _GAUSS2_WIDTH) ** 2))
+            flat[0, inside] = gauss1 + _GAUSS2_WEIGHT * gauss2
+
+            # minimum(x, 0) and the scalar where(x < 0, x, 0) agree after
+            # squaring (only the sign of zero can differ)
+            overlap = np.minimum(s, 0.0)
+            flat[1, inside] = overlap**2
+
+            hydro_ramp = np.clip((_HYDROPHOBIC_RAMP - s) / _HYDROPHOBIC_RAMP, 0.0, 1.0)
+            flat[2, inside] = hydro_flat[pair_index] * hydro_ramp
+
+            hbond_ramp = np.clip((_HBOND_RAMP - s) / _HBOND_RAMP, 0.0, 1.0)
+            flat[3, inside] = hbond_flat[pair_index] * hbond_ramp
+
+            flat[4, inside] = charge_flat[pair_index] / np.maximum(d, _ELECTROSTATIC_FLOOR)
+
+            # one fused reduction: each row is the same contiguous
+            # (n_lig * n_pocket) block the scalar .sum() flattens
+            sums = terms.reshape(5 * num_poses, -1).sum(axis=1).reshape(5, num_poses)
+
+            np.min(dist, axis=2, out=buf["min_dist"])
+            np.less(buf["min_dist"], _BURIAL_CONTACT, out=buf["buried"])
+            buried = buf["buried"].mean(axis=1)
+
+            return BatchedInteractionTerms(
+                shape=sums[0],
+                repulsion=sums[1],
+                hydrophobic=sums[2],
+                hbond=sums[3],
+                electrostatic=sums[4],
+                buried_fraction=buried,
+                rotatable_bonds=buf["rotatable"],
+                ligand_heavy_atoms=buf["heavy"],
+            )
+
+        return kernel
+
+    def grouped_terms(self, complexes):
+        """Batched terms for heterogeneous complexes, grouped by (site, ligand size).
+
+        Yields ``(indices, BatchedInteractionTerms)`` pairs where
+        ``indices`` selects the complexes of one group in input order.
+        Ligand property arrays are stacked per pose, so complexes with
+        different ligands (e.g. the poses rescored by CDT4) batch
+        together as long as they share the binding site and atom count.
+        Groups larger than :data:`GROUPED_TERMS_CHUNK_POSES` are split
+        into bounded chunks — per-pose rows reduce independently, so
+        chunking keeps results bit-identical while capping the peak
+        ``(P, N_ligand, N_pocket)`` tensor memory at campaign scale.
+        """
+        from repro.featurize.atom_features import site_arrays
+
+        complexes = list(complexes)
+        groups: dict[tuple[int, int], list[int]] = {}
+        for index, complex_ in enumerate(complexes):
+            key = (id(complex_.site), complex_.ligand.num_atoms)
+            groups.setdefault(key, []).append(index)
+        for group in groups.values():
+            for start in range(0, len(group), GROUPED_TERMS_CHUNK_POSES):
+                indices = group[start : start + GROUPED_TERMS_CHUNK_POSES]
+                members = [complexes[i] for i in indices]
+                pocket = site_arrays(members[0].site)[0]
+                if pocket.num_atoms == 0 or members[0].ligand.num_atoms == 0:
+                    raise ValueError("complex must contain both ligand and pocket atoms")
+                arrays = [ligand_interaction_arrays(c.ligand) for c in members]
+                coords = np.stack([c.ligand_coordinates() for c in members])
+                lig_radii = np.stack([a.vdw_radius for a, _, _ in arrays])
+                lig_donor = np.stack([a.hbond_donor for a, _, _ in arrays])
+                lig_acceptor = np.stack([a.hbond_acceptor for a, _, _ in arrays])
+                terms = _pairwise_terms(
+                    self.cutoff,
+                    pocket.coords,
+                    lig_radii[:, :, None] + pocket.vdw_radius,
+                    np.stack([a.hydrophobic for a, _, _ in arrays])[:, :, None]
+                    * pocket.hydrophobic,
+                    lig_donor[:, :, None] * pocket.hbond_acceptor
+                    + lig_acceptor[:, :, None] * pocket.hbond_donor,
+                    -np.stack([a.partial_charge for a, _, _ in arrays])[:, :, None]
+                    * pocket.partial_charge,
+                    np.array([rot for _, rot, _ in arrays]),
+                    np.array([heavy for _, _, heavy in arrays]),
+                    coords,
+                )
+                yield np.asarray(indices, dtype=np.intp), terms
+
+    # ------------------------------------------------------------------ #
     def true_pk(self, complex_: ProteinLigandComplex) -> float:
         """Ground-truth binding affinity as pK = -log10(K)."""
         terms = self.compute_terms(complex_)
         return self.pk_from_terms(terms)
+
+    def true_pk_batch(self, site, ligand: Molecule, coords) -> np.ndarray:
+        """Batched :meth:`true_pk` over stacked pose coordinates ``(P, N, 3)``."""
+        return self.pk_from_terms_batch(self.compute_terms_batch(site, ligand, coords))
+
+    def pk_from_terms_batch(self, terms: BatchedInteractionTerms) -> np.ndarray:
+        """Batched :meth:`pk_from_terms` (same expressions, elementwise)."""
+        heavy = np.maximum(terms.ligand_heavy_atoms, 6.0)
+        shape_n = terms.shape / heavy
+        repulsion_n = terms.repulsion / heavy
+        hydrophobic_n = terms.hydrophobic / heavy
+        hbond_n = terms.hbond / heavy
+        favourable = (
+            self.shape_weight * shape_n
+            + self.hydrophobic_weight * hydrophobic_n
+            + self.hbond_weight * 4.0 * np.tanh(hbond_n / 1.2)
+            + self.electrostatic_weight * np.tanh(terms.electrostatic / 1.5)
+        )
+        unfavourable = (
+            self.repulsion_weight * repulsion_n
+            + self.rotor_penalty * np.log1p(terms.rotatable_bonds)
+        )
+        burial_bonus = self.burial_weight * terms.buried_fraction
+        pk = self.base_pk + favourable + burial_bonus - unfavourable
+        return np.clip(pk, 0.0, 14.0)
 
     def pk_from_terms(self, terms: InteractionTerms) -> float:
         """Map interaction terms to a pK value.
@@ -235,6 +542,68 @@ class InteractionModel:
     def binding_free_energy(self, complex_: ProteinLigandComplex) -> float:
         """Ground-truth binding free energy in kcal/mol (negative = favourable)."""
         return -PK_TO_KCAL * self.true_pk(complex_)
+
+
+def _pairwise_terms(
+    cutoff: float,
+    pocket_coords: np.ndarray,
+    radii_sum: np.ndarray,
+    hydro_pairs: np.ndarray,
+    hbond_pairs: np.ndarray,
+    charge_pairs: np.ndarray,
+    rotatable: np.ndarray,
+    heavy: np.ndarray,
+    coords: np.ndarray,
+) -> BatchedInteractionTerms:
+    """Coordinate-dependent half of the batched pairwise-interaction kernel.
+
+    ``coords`` is ``(P, N, 3)``; the pair-constant arrays are ``(N, K)``
+    (shared ligand) or ``(P, N, K)`` (stacked heterogeneous ligands) —
+    broadcasting makes both layouts elementwise-identical to the scalar
+    :meth:`InteractionModel.compute_terms` expressions.  Reductions run as
+    ``reshape(P, -1).sum(axis=1)`` so each pose reduces over the same
+    contiguous block (same pairwise-summation tree) as the scalar
+    ``(N, K)`` ``.sum()``.
+    """
+    num_poses = coords.shape[0]
+
+    def reduce_pairs(values: np.ndarray) -> np.ndarray:
+        return values.reshape(num_poses, -1).sum(axis=1)
+
+    deltas = coords[:, :, None, :] - pocket_coords[None, None, :, :]
+    # same elementwise square / last-axis reduce / sqrt sequence as the
+    # scalar path's np.linalg.norm(deltas, axis=-1)
+    dist = np.sqrt((deltas * deltas).sum(axis=-1))
+    surface_dist = dist - radii_sum
+
+    within = dist <= cutoff
+    gauss1 = np.exp(-((surface_dist / _GAUSS1_WIDTH) ** 2))
+    gauss2 = np.exp(-(((surface_dist - _GAUSS2_OFFSET) / _GAUSS2_WIDTH) ** 2))
+    shape = reduce_pairs((gauss1 + _GAUSS2_WEIGHT * gauss2) * within)
+
+    overlap = np.where(surface_dist < 0, surface_dist, 0.0)
+    repulsion = reduce_pairs((overlap**2) * within)
+
+    hydro_ramp = np.clip((_HYDROPHOBIC_RAMP - surface_dist) / _HYDROPHOBIC_RAMP, 0.0, 1.0)
+    hydrophobic = reduce_pairs(hydro_pairs * hydro_ramp * within)
+
+    hbond_ramp = np.clip((_HBOND_RAMP - surface_dist) / _HBOND_RAMP, 0.0, 1.0)
+    hbond = reduce_pairs(hbond_pairs * hbond_ramp * within)
+
+    electrostatic = reduce_pairs(charge_pairs / np.maximum(dist, _ELECTROSTATIC_FLOOR) * within)
+
+    buried = (dist.min(axis=2) < _BURIAL_CONTACT).mean(axis=1)
+
+    return BatchedInteractionTerms(
+        shape=shape,
+        repulsion=repulsion,
+        hydrophobic=hydrophobic,
+        hbond=hbond,
+        electrostatic=electrostatic,
+        buried_fraction=buried,
+        rotatable_bonds=np.asarray(rotatable, dtype=np.float64),
+        ligand_heavy_atoms=np.asarray(heavy, dtype=np.float64),
+    )
 
 
 #: A module-level default instance shared by dataset generation and scoring.

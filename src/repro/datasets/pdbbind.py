@@ -29,7 +29,8 @@ from repro.chem.generator import GeneratorProfile, MoleculeGenerator
 from repro.chem.prep import LigandPrepPipeline
 from repro.chem.protein import BindingSite, PocketFamily, generate_binding_site
 from repro.datasets.splits import quintile_split
-from repro.docking.poses import MaximizePkScorer, PoseGenerator
+from repro.docking.engine import BatchedMonteCarloDocker
+from repro.docking.poses import MaximizePkScorer
 from repro.featurize.pipeline import ComplexFeaturizer, FeaturizedComplex
 from repro.utils.rng import derive_seed, ensure_rng
 
@@ -196,7 +197,7 @@ def generate_pdbbind(
                 continue
             ligand = prepared.molecule
 
-        pose_generator = PoseGenerator(
+        pose_generator = BatchedMonteCarloDocker(
             scorer,
             num_poses=1,
             monte_carlo_steps=config.pose_search_steps,

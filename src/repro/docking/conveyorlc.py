@@ -28,10 +28,10 @@ import numpy as np
 from repro.chem.molecule import Molecule
 from repro.chem.prep import LigandPrepPipeline, PreparedLigand
 from repro.chem.protein import BindingSite
+from repro.docking.engine import dock_many, validate_engine
 from repro.docking.mmgbsa import MMGBSARescorer
-from repro.docking.poses import DockedPose, PoseGenerator
 from repro.docking.vina import VinaScorer
-from repro.utils.rng import derive_seed, ensure_rng
+from repro.utils.rng import ensure_rng
 
 
 # --------------------------------------------------------------------------- #
@@ -162,7 +162,13 @@ class CDT2Ligand:
 
 
 class CDT3Docking:
-    """Stage 3: Vina-style docking producing up to ``num_poses`` poses per pair."""
+    """Stage 3: Vina-style docking producing up to ``num_poses`` poses per pair.
+
+    ``engine`` selects the batched lockstep docker (default) or the scalar
+    golden reference — the two are bit-identical, so the choice affects
+    throughput only; ``max_workers`` bounds the per-site compound pool of
+    :func:`repro.docking.engine.dock_many`.
+    """
 
     def __init__(
         self,
@@ -171,12 +177,18 @@ class CDT3Docking:
         monte_carlo_steps: int = 40,
         restarts: int = 3,
         seed: int = 0,
+        engine: str = "batched",
+        max_workers: int = 1,
     ) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
         self.scorer = scorer or VinaScorer()
+        self.engine = validate_engine(engine)
         self.num_poses = int(num_poses)
         self.monte_carlo_steps = int(monte_carlo_steps)
         self.restarts = int(restarts)
         self.seed = int(seed)
+        self.max_workers = int(max_workers)
         self.modelled_cost_seconds = 0.0
 
     def run(
@@ -189,17 +201,26 @@ class CDT3Docking:
         database = DockingDatabase()
         references = references or {}
         for site_name, receptor in sorted(receptors.items()):
-            for ligand in ligands:
-                compound_id = ligand.compound_id
-                generator = PoseGenerator(
-                    self.scorer,
-                    num_poses=self.num_poses,
-                    monte_carlo_steps=self.monte_carlo_steps,
-                    restarts=self.restarts,
-                    seed=derive_seed(self.seed, "dock", site_name, compound_id),
-                )
-                reference = references.get((site_name, compound_id))
-                poses = generator.dock(receptor.site, ligand.molecule, complex_id=compound_id, reference=reference)
+            pairs = [(ligand.compound_id, ligand.molecule) for ligand in ligands]
+            site_references = {
+                compound_id: references[(site_name, compound_id)]
+                for compound_id, _ in pairs
+                if (site_name, compound_id) in references
+            }
+            results = dock_many(
+                receptor.site,
+                pairs,
+                scorer=self.scorer,
+                seed=self.seed,
+                num_poses=self.num_poses,
+                monte_carlo_steps=self.monte_carlo_steps,
+                restarts=self.restarts,
+                site_name=site_name,
+                references=site_references,
+                engine=self.engine,
+                max_workers=self.max_workers,
+            )
+            for compound_id, poses in results.items():
                 for pose in poses:
                     database.add(
                         DockingRecord(
@@ -229,6 +250,7 @@ class CDT4Mmgbsa:
         max_poses: int = 10,
         subset_fraction: float = 1.0,
         seed: int = 0,
+        engine: str = "batched",
     ) -> None:
         if not 0.0 < subset_fraction <= 1.0:
             raise ValueError("subset_fraction must be in (0, 1]")
@@ -236,6 +258,7 @@ class CDT4Mmgbsa:
         self.max_poses = int(max_poses)
         self.subset_fraction = float(subset_fraction)
         self.seed = int(seed)
+        self.engine = validate_engine(engine)
         self.modelled_cost_seconds = 0.0
 
     def run(self, database: DockingDatabase, sites: dict[str, BindingSite]) -> DockingDatabase:
@@ -246,13 +269,25 @@ class CDT4Mmgbsa:
                 keep = max(1, int(round(self.subset_fraction * len(compounds))))
                 compounds = list(rng.choice(compounds, size=keep, replace=False))
             site = sites[site_name]
+            # one site-level batch through the shared kernel: the rescored
+            # poses of every selected compound score in one grouped pass
+            records: list[DockingRecord] = []
             for compound_id in compounds:
                 poses = database.poses(site_name, compound_id)
-                poses = sorted(poses, key=lambda r: r.vina_score)[: self.max_poses]
-                for record in poses:
-                    complex_ = _record_to_complex(site, record)
-                    record.mmgbsa_score = self.rescorer.score(complex_)
-                    self.modelled_cost_seconds += MMGBSARescorer.cost_seconds(1)
+                records.extend(sorted(poses, key=lambda r: r.vina_score)[: self.max_poses])
+            if not records:
+                continue
+            complexes = [_record_to_complex(site, record) for record in records]
+            score_many = getattr(self.rescorer, "score_many", None)
+            if self.engine == "batched" and score_many is not None:
+                scores = score_many(complexes)
+            else:
+                # scalar golden path — also the graceful fallback for
+                # custom rescorers that only implement score()
+                scores = [self.rescorer.score(complex_) for complex_ in complexes]
+            for record, score in zip(records, scores):
+                record.mmgbsa_score = float(score)
+                self.modelled_cost_seconds += MMGBSARescorer.cost_seconds(1)
         return database
 
 

@@ -1,0 +1,270 @@
+"""Batched docking engine: lockstep Monte-Carlo restarts on the pairwise kernel.
+
+Docking is the campaign's dominant compute stage (§4.1: ~10 poses/s/node,
+about one minute per compound per core), and the scalar
+:class:`~repro.docking.poses.PoseGenerator` spends nearly all of it in
+``restarts × monte_carlo_steps`` scalar ``InteractionModel.compute_terms``
+calls that rebuild per-atom property arrays from Python ``Atom`` objects
+on every step.  This module applies the PR-3 featurization treatment to
+docking:
+
+* :class:`BatchedMonteCarloDocker` runs all restart chains in lockstep —
+  per MC step it perturbs, scores and Metropolis-accepts every chain at
+  once, scoring the stacked ``(restarts, N, 3)`` pose tensor through one
+  ``score_batch`` kernel call (``InteractionModel.compute_terms_batch``
+  underneath).  Chains draw from the per-restart streams defined by the
+  scalar docker, so the batched search is **bit-identical** to the scalar
+  golden reference at any batch width.
+* :func:`select_pose_indices` replaces the nested ``rmsd()`` clustering
+  loops with one pairwise-RMSD matrix (:func:`pairwise_rmsd`).
+* :func:`dock_many` docks a batch of ligands into one site on a bounded
+  thread pool; per-compound seeds match ``CDT3Docking`` exactly, so
+  results are independent of pool width.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.chem.complexes import ProteinLigandComplex
+from repro.chem.molecule import Molecule
+from repro.chem.protein import BindingSite
+from repro.docking.poses import (
+    DockedPose,
+    PoseGenerator,
+    initial_pose_coords,
+    molecule_with_coordinates,
+    perturbed_coords,
+)
+from repro.utils.rng import derive_seed
+
+#: Engine names accepted by the ConveyorLC stages and the campaign config.
+DOCKING_ENGINES = ("batched", "scalar")
+
+
+def pairwise_rmsd(coords: np.ndarray) -> np.ndarray:
+    """``(M, M)`` heavy-atom RMSD matrix of ``M`` stacked poses ``(M, N, 3)``.
+
+    One broadcast computation replaces the ``M²`` nested
+    :func:`repro.docking.poses.rmsd` calls of the scalar clustering loop;
+    each entry reduces over the same contiguous per-pair layout as the
+    scalar ``Molecule.rmsd_to``, so entries are bit-identical to it.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    diff = coords[:, None, :, :] - coords[None, :, :, :]
+    return np.sqrt((diff**2).sum(axis=-1).mean(axis=-1))
+
+
+def rmsd_to_reference(coords: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """``(M,)`` RMSD of stacked poses ``(M, N, 3)`` to one reference pose."""
+    diff = np.asarray(coords, dtype=np.float64) - np.asarray(reference, dtype=np.float64)
+    return np.sqrt((diff**2).sum(axis=-1).mean(axis=-1))
+
+
+def select_pose_indices(
+    scores: Sequence[float],
+    rmsd_matrix: np.ndarray,
+    num_poses: int,
+    min_separation: float,
+) -> list[int]:
+    """Greedy diverse-pose selection over a precomputed RMSD matrix.
+
+    Candidates are visited in increasing-score order (stable for ties, so
+    chain order breaks them exactly like the scalar ``list.sort``); a
+    candidate is kept when it sits at least ``min_separation`` from every
+    already-kept pose.  The output depends only on the ordered candidate
+    list — not on how many Monte-Carlo chains produced it — which is the
+    batch-width invariance the property tests pin down.
+    """
+    order = sorted(range(len(scores)), key=lambda index: scores[index])
+    selected: list[int] = []
+    for index in order:
+        if len(selected) >= num_poses:
+            break
+        if all(rmsd_matrix[index, kept] >= min_separation for kept in selected):
+            selected.append(index)
+    return selected
+
+
+class BatchedMonteCarloDocker(PoseGenerator):
+    """Lockstep batched Monte-Carlo docking, bit-identical to the scalar docker.
+
+    Accepts the same parameters as :class:`PoseGenerator` and produces
+    ``np.array_equal`` pose coordinates, scores and RMSDs for any seed.
+    The scorer should expose
+    ``score_batch(site, ligand, coords, complex_id=...) -> (P,)``
+    (``VinaScorer``, ``MMGBSARescorer`` and ``MaximizePkScorer`` all do);
+    scorers without it fall back to a per-pose scalar loop that keeps the
+    lockstep semantics.
+    """
+
+    # ------------------------------------------------------------------ #
+    def dock(
+        self,
+        site: BindingSite,
+        ligand: Molecule,
+        complex_id: str = "",
+        reference: Molecule | None = None,
+    ) -> list[DockedPose]:
+        scores, coords = self.run_chains(site, ligand, complex_id)
+        rmsd_matrix = pairwise_rmsd(coords)
+        selected = select_pose_indices(scores, rmsd_matrix, self.num_poses, self.min_pose_separation)
+        if reference is not None:
+            reference_rmsds = rmsd_to_reference(coords[selected], reference.coordinates)
+        poses: list[DockedPose] = []
+        for pose_id, index in enumerate(selected):
+            pose = molecule_with_coordinates(ligand, coords[index])
+            complex_ = ProteinLigandComplex(site, pose, complex_id=complex_id, pose_id=pose_id)
+            pose_rmsd = float(reference_rmsds[pose_id]) if reference is not None else float("nan")
+            poses.append(
+                DockedPose(
+                    complex=complex_,
+                    score=float(scores[index]),
+                    pose_id=pose_id,
+                    rmsd_to_reference=pose_rmsd,
+                )
+            )
+        return poses
+
+    # ------------------------------------------------------------------ #
+    def run_chains(
+        self, site: BindingSite, ligand: Molecule, complex_id: str = ""
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run all restart chains in lockstep; return the candidate pool.
+
+        Returns ``(scores, coords)`` of the ``2 × restarts`` clustering
+        candidates in chain order — each chain contributes its best pose
+        followed by its final pose, exactly like the scalar loop.
+        """
+        kernel = self._batch_scorer(site, ligand, complex_id)
+        base_coords = ligand.coordinates
+        rngs = [self.restart_rng(restart) for restart in range(self.restarts)]
+        coords = np.stack([initial_pose_coords(site, base_coords, rng) for rng in rngs])
+        current = kernel(coords)
+        best_coords = coords.copy()
+        best_scores = current.copy()
+        proposals = np.empty_like(coords)
+        for step in range(self.monte_carlo_steps):
+            for index, rng in enumerate(rngs):
+                proposals[index] = perturbed_coords(coords[index], rng, step, self.monte_carlo_steps)
+            proposal_scores = kernel(proposals)
+            deltas = proposal_scores - current
+            # Metropolis acceptance stays per-chain: the uniform draw is
+            # conditional on the proposal not improving, so consuming it
+            # unconditionally would desynchronize the restart streams.
+            for index, rng in enumerate(rngs):
+                delta = float(deltas[index])
+                if delta < 0 or rng.random() < np.exp(-delta / self.temperature):
+                    coords[index] = proposals[index]
+                    current[index] = proposal_scores[index]
+                    if current[index] < best_scores[index]:
+                        best_coords[index] = coords[index]
+                        best_scores[index] = current[index]
+
+        candidate_scores = np.empty(2 * self.restarts)
+        candidate_coords = np.empty((2 * self.restarts,) + coords.shape[1:])
+        for index in range(self.restarts):
+            candidate_scores[2 * index] = best_scores[index]
+            candidate_coords[2 * index] = best_coords[index]
+            candidate_scores[2 * index + 1] = current[index]
+            candidate_coords[2 * index + 1] = coords[index]
+        return candidate_scores, candidate_coords
+
+    # ------------------------------------------------------------------ #
+    def _batch_scorer(
+        self, site: BindingSite, ligand: Molecule, complex_id: str
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        make_kernel = getattr(self.scorer, "make_batch_kernel", None)
+        if make_kernel is not None:
+            # the kernel binds the (site, ligand) pair constants once for
+            # the whole MC search — this is where the batched win lives
+            return make_kernel(site, ligand, complex_id=complex_id)
+        score_batch = getattr(self.scorer, "score_batch", None)
+        if score_batch is not None:
+            return lambda coords: np.asarray(
+                score_batch(site, ligand, coords, complex_id=complex_id), dtype=np.float64
+            )
+
+        def fallback(coords: np.ndarray) -> np.ndarray:
+            return np.array(
+                [self._score(site, ligand, pose_coords, complex_id) for pose_coords in coords]
+            )
+
+        return fallback
+
+
+def validate_engine(engine: str) -> str:
+    """Check ``engine`` against :data:`DOCKING_ENGINES` and return it."""
+    if engine not in DOCKING_ENGINES:
+        raise ValueError(f"unknown docking engine '{engine}'; expected one of {DOCKING_ENGINES}")
+    return engine
+
+
+def make_docker(engine: str, scorer, **kwargs) -> PoseGenerator:
+    """Construct the scalar or batched docker named by ``engine``."""
+    cls = BatchedMonteCarloDocker if validate_engine(engine) == "batched" else PoseGenerator
+    return cls(scorer, **kwargs)
+
+
+def dock_many(
+    site: BindingSite,
+    ligands: Sequence[tuple[str, Molecule]],
+    *,
+    scorer,
+    seed: int,
+    num_poses: int = 10,
+    monte_carlo_steps: int = 60,
+    restarts: int = 4,
+    temperature: float = 1.2,
+    min_pose_separation: float = 0.75,
+    site_name: str | None = None,
+    references: Mapping[str, Molecule] | None = None,
+    engine: str = "batched",
+    max_workers: int = 1,
+) -> dict[str, list[DockedPose]]:
+    """Dock many ligands into one site, optionally on a bounded worker pool.
+
+    Parameters
+    ----------
+    ligands:
+        ``(compound_id, molecule)`` pairs; the result maps each
+        ``compound_id`` to its docked poses in input order.  Duplicate
+        compound ids collapse to the last entry — the same later-wins
+        outcome the per-record ``DockingDatabase.add`` has always
+        produced (duplicates share a seed, so their poses are identical
+        anyway).
+    seed:
+        Stage-level seed.  Each compound docks under
+        ``derive_seed(seed, "dock", site_name, compound_id)`` — the exact
+        derivation ``CDT3Docking`` has always used, so results are
+        independent of batch composition and worker count.
+    references:
+        Optional per-compound crystal poses for RMSD bookkeeping.
+    max_workers:
+        Thread-pool bound; ``1`` docks inline.  Compounds are
+        independent, so any pool width produces identical results.
+    """
+    site_name = site.name if site_name is None else site_name
+    references = references or {}
+
+    def dock_one(compound_id: str, molecule: Molecule) -> list[DockedPose]:
+        docker = make_docker(
+            engine,
+            scorer,
+            num_poses=num_poses,
+            monte_carlo_steps=monte_carlo_steps,
+            restarts=restarts,
+            temperature=temperature,
+            min_pose_separation=min_pose_separation,
+            seed=derive_seed(seed, "dock", site_name, compound_id),
+        )
+        return docker.dock(site, molecule, complex_id=compound_id, reference=references.get(compound_id))
+
+    if max_workers > 1 and len(ligands) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [(compound_id, pool.submit(dock_one, compound_id, molecule)) for compound_id, molecule in ligands]
+            return {compound_id: future.result() for compound_id, future in futures}
+    return {compound_id: dock_one(compound_id, molecule) for compound_id, molecule in ligands}

@@ -12,10 +12,8 @@ latent interaction model but retaining a significant systematic error.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.chem.complexes import PK_TO_KCAL, InteractionModel, ProteinLigandComplex
-from repro.utils.rng import derive_seed
+from repro.docking.scoring import KernelScoringMixin
 
 #: §4.1: a single-point MM/GBSA evaluation takes ~10 minutes per pose per core;
 #: a Lassen node manages about 0.067 poses per second.
@@ -23,15 +21,17 @@ MMGBSA_POSES_PER_SECOND_PER_NODE = 0.067
 MMGBSA_SECONDS_PER_POSE_PER_CORE = 600.0
 
 
-class MMGBSARescorer:
+class MMGBSARescorer(KernelScoringMixin):
     """MM/GBSA-like binding free-energy estimate (kcal/mol, negative = better)."""
 
     name = "mmgbsa"
+    error_label = "mmgbsa-error"
 
     def __init__(self, noise_scale: float = 1.25, seed: int = 13) -> None:
         self.noise_scale = float(noise_scale)
         self.seed = int(seed)
         self._interactions = InteractionModel()
+        self._error_cache: dict[tuple[str, int], float] = {}
         # MM term weights: include electrostatics (unlike Vina) and a
         # desolvation penalty proportional to buried polar contacts.
         self.w_vdw = -0.40
@@ -45,6 +45,12 @@ class MMGBSARescorer:
     def score(self, complex_: ProteinLigandComplex) -> float:
         """Estimated binding free energy in kcal/mol."""
         terms = self._interactions.compute_terms(complex_)
+        raw = self._weighted_terms(terms)
+        raw += self._systematic_error(complex_) * PK_TO_KCAL
+        return float(raw)
+
+    def _weighted_terms(self, terms):
+        """MM/GBSA weighting of (scalar or batched) interaction terms."""
         desolvation = terms.hbond * 0.4 + (1.0 - terms.buried_fraction) * 2.0
         raw = (
             self.w_vdw * terms.shape
@@ -54,24 +60,21 @@ class MMGBSARescorer:
             + self.w_repulsion * terms.repulsion * 0.4
             + self.w_desolvation * desolvation
         )
-        raw = raw / (1.0 + 0.02 * terms.ligand_heavy_atoms)
-        raw += self._systematic_error(complex_) * PK_TO_KCAL
-        return float(raw)
+        return raw / (1.0 + 0.02 * terms.ligand_heavy_atoms)
 
     def predicted_pk(self, complex_: ProteinLigandComplex) -> float:
         """Score converted to the pK scale."""
         return float(-self.score(complex_) / PK_TO_KCAL)
 
     def rescore(self, poses, max_poses: int | None = None) -> list[float]:
-        """Re-score a list of :class:`repro.docking.poses.DockedPose` objects."""
+        """Re-score :class:`repro.docking.poses.DockedPose` objects (scalar reference)."""
         selected = poses if max_poses is None else poses[: int(max_poses)]
         return [self.score(p.complex) for p in selected]
 
-    # ------------------------------------------------------------------ #
-    def _systematic_error(self, complex_: ProteinLigandComplex) -> float:
-        key = derive_seed(self.seed, "mmgbsa-error", complex_.complex_id, complex_.pose_id)
-        rng = np.random.default_rng(key)
-        return float(rng.normal(scale=self.noise_scale))
+    def rescore_many(self, poses, max_poses: int | None = None) -> list[float]:
+        """Batched :meth:`rescore` on the shared kernel (bit-identical)."""
+        selected = poses if max_poses is None else poses[: int(max_poses)]
+        return [float(score) for score in self.score_many([p.complex for p in selected])]
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -6,6 +6,25 @@ docking data, the latent interaction model when constructing the
 "crystal" poses of the synthetic PDBbind set). ConveyorLC's CDT3Docking
 stage keeps up to 10 best poses per compound and site, which is the
 default here as well.
+
+Random-stream protocol
+----------------------
+Each Monte-Carlo restart draws from its own ``numpy`` generator seeded
+via ``derive_seed(base_seed, "mc-restart", restart_index)``.  Restart
+chains are therefore statistically independent *and* reproducible
+regardless of how many chains run, or in what order — which is what lets
+:class:`repro.docking.engine.BatchedMonteCarloDocker` run all restarts in
+lockstep while staying bit-identical to this scalar reference.  Within a
+chain the draw order is fixed: placement rotation, placement jitter,
+then per step translation → angle → axis, and a Metropolis uniform drawn
+*only* when the proposal did not improve the score.
+
+The geometry of a move lives in the coordinate-level helpers
+:func:`initial_pose_coords` and :func:`perturbed_coords`, shared by the
+scalar and batched dockers so both paths apply floating-point-identical
+rigid transforms; scoring in this scalar reference still flows through
+per-pose :class:`~repro.chem.complexes.ProteinLigandComplex` objects and
+the scalar ``InteractionModel.compute_terms``.
 """
 
 from __future__ import annotations
@@ -18,7 +37,7 @@ from repro.chem.complexes import ProteinLigandComplex
 from repro.chem.conformer import random_rotation_matrix
 from repro.chem.molecule import Molecule
 from repro.chem.protein import BindingSite
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import derive_seed, ensure_rng
 
 
 def rmsd(pose_a: Molecule, pose_b: Molecule) -> float:
@@ -26,14 +45,45 @@ def rmsd(pose_a: Molecule, pose_b: Molecule) -> float:
     return pose_a.rmsd_to(pose_b)
 
 
+def molecule_with_coordinates(template: Molecule, coords: np.ndarray) -> Molecule:
+    """A copy of ``template`` carrying ``coords`` as its atom positions."""
+    out = template.copy()
+    out.set_coordinates(coords)
+    return out
+
+
+def initial_pose_coords(site: BindingSite, coords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Coordinates of a random initial placement near the pocket mouth.
+
+    Draw order (rotation, then jitter) is part of the restart stream
+    protocol — both dockers rely on it.
+    """
+    rotation = random_rotation_matrix(rng)
+    centered = coords - coords.mean(axis=0)
+    rotated = centered @ rotation.T
+    depth_offset = np.array([0.0, 0.0, -0.45 * site.family.depth])
+    jitter = rng.normal(scale=1.0, size=3)
+    return rotated + (site.center + depth_offset + jitter)
+
+
+def perturbed_coords(
+    coords: np.ndarray, rng: np.random.Generator, step: int, total_steps: int
+) -> np.ndarray:
+    """One annealed rigid-body MC move whose magnitude shrinks with ``step``."""
+    cooling = max(0.25, 1.0 - step / max(total_steps, 1))
+    translation = rng.normal(scale=0.6 * cooling, size=3)
+    angle = rng.normal(scale=0.35 * cooling)
+    axis = rng.normal(size=3)
+    axis /= np.linalg.norm(axis) + 1e-12
+    rotation = _axis_angle_matrix(axis, angle)
+    center = coords.mean(axis=0)
+    return (coords - center) @ rotation.T + center + translation
+
+
 def place_ligand_randomly(site: BindingSite, ligand: Molecule, rng=None) -> Molecule:
     """Place the ligand with random orientation near the pocket mouth."""
     rng = ensure_rng(rng)
-    centered = ligand.translate(-ligand.centroid())
-    rotated = centered.rotate(random_rotation_matrix(rng), center=np.zeros(3))
-    depth_offset = np.array([0.0, 0.0, -0.45 * site.family.depth])
-    jitter = rng.normal(scale=1.0, size=3)
-    return rotated.translate(site.center + depth_offset + jitter)
+    return molecule_with_coordinates(ligand, initial_pose_coords(site, ligand.coordinates, rng))
 
 
 @dataclass
@@ -48,7 +98,7 @@ class DockedPose:
 
 
 class PoseGenerator:
-    """Monte-Carlo rigid-body pose search.
+    """Monte-Carlo rigid-body pose search (scalar golden reference).
 
     Parameters
     ----------
@@ -66,6 +116,10 @@ class PoseGenerator:
         Metropolis acceptance temperature in score units.
     min_pose_separation:
         Minimum heavy-atom RMSD between two retained poses.
+    seed:
+        Base seed of the per-restart streams (module docstring). An
+        existing generator (or ``None``) contributes one integer draw
+        (or OS entropy) as the base seed.
     """
 
     def __init__(
@@ -80,13 +134,22 @@ class PoseGenerator:
     ) -> None:
         if num_poses <= 0:
             raise ValueError("num_poses must be positive")
+        if restarts <= 0:
+            raise ValueError("restarts must be positive")
+        if monte_carlo_steps < 0:
+            raise ValueError("monte_carlo_steps must be non-negative")
         self.scorer = scorer
         self.num_poses = int(num_poses)
         self.monte_carlo_steps = int(monte_carlo_steps)
         self.restarts = int(restarts)
         self.temperature = float(temperature)
         self.min_pose_separation = float(min_pose_separation)
-        self._rng = ensure_rng(seed)
+        self.base_seed = _normalize_seed(seed)
+
+    # ------------------------------------------------------------------ #
+    def restart_rng(self, restart: int) -> np.random.Generator:
+        """The independent random stream of one Monte-Carlo restart chain."""
+        return np.random.default_rng(derive_seed(self.base_seed, "mc-restart", int(restart)))
 
     # ------------------------------------------------------------------ #
     def dock(
@@ -102,29 +165,31 @@ class PoseGenerator:
         is given, each pose's RMSD to it is recorded (the paper filters
         core-set docking poses at RMSD < 1 A of the crystal pose).
         """
-        rng = self._rng
-        candidates: list[tuple[float, Molecule]] = []
-        for _ in range(self.restarts):
-            pose = place_ligand_randomly(site, ligand, rng)
-            current = self._score(site, pose, complex_id)
-            best_pose, best_score = pose, current
+        base_coords = ligand.coordinates
+        candidates: list[tuple[float, np.ndarray]] = []
+        for restart in range(self.restarts):
+            rng = self.restart_rng(restart)
+            coords = initial_pose_coords(site, base_coords, rng)
+            current = self._score(site, ligand, coords, complex_id)
+            best_coords, best_score = coords, current
             for step in range(self.monte_carlo_steps):
-                proposal = self._perturb(pose, rng, step)
-                proposal_score = self._score(site, proposal, complex_id)
+                proposal = perturbed_coords(coords, rng, step, self.monte_carlo_steps)
+                proposal_score = self._score(site, ligand, proposal, complex_id)
                 delta = proposal_score - current
                 if delta < 0 or rng.random() < np.exp(-delta / self.temperature):
-                    pose, current = proposal, proposal_score
+                    coords, current = proposal, proposal_score
                     if current < best_score:
-                        best_pose, best_score = pose, current
-            candidates.append((best_score, best_pose))
+                        best_coords, best_score = coords, current
+            candidates.append((best_score, best_coords))
             # keep intermediate snapshots too, so clustering has material
-            candidates.append((current, pose))
+            candidates.append((current, coords))
 
         candidates.sort(key=lambda item: item[0])
         selected: list[tuple[float, Molecule]] = []
-        for score, pose in candidates:
+        for score, coords in candidates:
             if len(selected) >= self.num_poses:
                 break
+            pose = molecule_with_coordinates(ligand, coords)
             if all(rmsd(pose, kept) >= self.min_pose_separation for _, kept in selected):
                 selected.append((score, pose))
 
@@ -136,18 +201,9 @@ class PoseGenerator:
         return poses
 
     # ------------------------------------------------------------------ #
-    def _score(self, site: BindingSite, pose: Molecule, complex_id: str) -> float:
+    def _score(self, site: BindingSite, ligand: Molecule, coords: np.ndarray, complex_id: str) -> float:
+        pose = molecule_with_coordinates(ligand, coords)
         return float(self.scorer.score(ProteinLigandComplex(site, pose, complex_id=complex_id)))
-
-    def _perturb(self, pose: Molecule, rng: np.random.Generator, step: int) -> Molecule:
-        """Random rigid-body move whose magnitude shrinks as the search progresses."""
-        cooling = max(0.25, 1.0 - step / max(self.monte_carlo_steps, 1))
-        translation = rng.normal(scale=0.6 * cooling, size=3)
-        angle = rng.normal(scale=0.35 * cooling)
-        axis = rng.normal(size=3)
-        axis /= np.linalg.norm(axis) + 1e-12
-        rotation = _axis_angle_matrix(axis, angle)
-        return pose.rotate(rotation).translate(translation)
 
 
 class MaximizePkScorer:
@@ -163,10 +219,40 @@ class MaximizePkScorer:
     def score(self, complex_: ProteinLigandComplex) -> float:
         return -self.interaction_model.true_pk(complex_)
 
+    def make_batch_kernel(
+        self, site: BindingSite, ligand: Molecule, complex_id: str = "", pose_id: int = 0
+    ):
+        """Batch-scoring kernel bound to one ``(site, ligand)`` pair."""
+        terms_kernel = self.interaction_model.batch_kernel(site, ligand)
+
+        def kernel(coords: np.ndarray) -> np.ndarray:
+            return -self.interaction_model.pk_from_terms_batch(terms_kernel(coords))
+
+        return kernel
+
+    def score_batch(
+        self, site: BindingSite, ligand: Molecule, coords, complex_id: str = "", pose_id: int = 0
+    ) -> np.ndarray:
+        """Batched :meth:`score` over stacked pose coordinates ``(P, N, 3)``."""
+        return -self.interaction_model.true_pk_batch(site, ligand, coords)
+
+
+def _normalize_seed(seed) -> int:
+    """Normalize ``seed`` into the integer base seed of the restart streams."""
+    if seed is None:
+        return int(np.random.default_rng().integers(0, 2**63 - 1))
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    return int(seed)
+
+
+_EYE3 = np.eye(3)
+
 
 def _axis_angle_matrix(axis: np.ndarray, angle: float) -> np.ndarray:
     """Rotation matrix about ``axis`` by ``angle`` (Rodrigues formula)."""
     x, y, z = axis
     c, s = np.cos(angle), np.sin(angle)
     cross = np.array([[0, -z, y], [z, 0, -x], [-y, x, 0]])
-    return np.eye(3) * c + s * cross + (1 - c) * np.outer(axis, axis)
+    # axis[:, None] * axis computes the same a_i * a_j products np.outer did
+    return _EYE3 * c + s * cross + (1 - c) * (axis[:, None] * axis)

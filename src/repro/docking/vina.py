@@ -13,10 +13,8 @@ the paper measures on docked PDBbind core poses.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.chem.complexes import PK_TO_KCAL, InteractionModel, ProteinLigandComplex
-from repro.utils.rng import derive_seed
+from repro.docking.scoring import KernelScoringMixin
 
 #: Throughput reference from §4.1: one Lassen node (40 cores, 4 hardware
 #: threads each, 8 MC runs per compound) docks about 10 poses per second.
@@ -25,7 +23,7 @@ VINA_POSES_PER_SECOND_PER_NODE = 10.0
 VINA_SECONDS_PER_COMPOUND_PER_CORE = 60.0
 
 
-class VinaScorer:
+class VinaScorer(KernelScoringMixin):
     """Empirical docking score (kcal/mol; more negative is better).
 
     Parameters
@@ -42,12 +40,14 @@ class VinaScorer:
     """
 
     name = "vina"
+    error_label = "vina-error"
 
     def __init__(self, noise_scale: float = 1.35, size_bias: float = 0.035, seed: int = 7) -> None:
         self.noise_scale = float(noise_scale)
         self.size_bias = float(size_bias)
         self.seed = int(seed)
         self._interactions = InteractionModel()
+        self._error_cache: dict[tuple[str, int], float] = {}
         # Vina-like term weights (relative magnitudes follow the published
         # scoring function; absolute scale tuned to land in kcal/mol range).
         self.w_gauss = -0.045
@@ -60,6 +60,12 @@ class VinaScorer:
     def score(self, complex_: ProteinLigandComplex) -> float:
         """Docking score in kcal/mol (negative = favourable)."""
         terms = self._interactions.compute_terms(complex_)
+        raw = self._weighted_terms(terms)
+        raw += self._systematic_error(complex_) * PK_TO_KCAL
+        return float(raw)
+
+    def _weighted_terms(self, terms):
+        """Vina weighting of (scalar or batched) interaction terms."""
         raw = (
             self.w_gauss * terms.shape * 2.2
             + self.w_repulsion * terms.repulsion * 0.35
@@ -69,24 +75,11 @@ class VinaScorer:
         # rotatable-bond entropy denominator, as in Vina
         raw = raw / (1.0 + self.w_rotor * terms.rotatable_bonds)
         # size bias: larger ligands receive systematically better scores
-        raw -= self.size_bias * terms.ligand_heavy_atoms
-        raw += self._systematic_error(complex_) * PK_TO_KCAL
-        return float(raw)
+        return raw - self.size_bias * terms.ligand_heavy_atoms
 
     def predicted_pk(self, complex_: ProteinLigandComplex) -> float:
         """Score converted to the pK scale for comparison with the deep models."""
         return float(-self.score(complex_) / PK_TO_KCAL)
-
-    def score_many(self, complexes) -> np.ndarray:
-        """Vectorized convenience wrapper."""
-        return np.array([self.score(c) for c in complexes])
-
-    # ------------------------------------------------------------------ #
-    def _systematic_error(self, complex_: ProteinLigandComplex) -> float:
-        """Deterministic per-complex error term (pK units)."""
-        key = derive_seed(self.seed, "vina-error", complex_.complex_id, complex_.pose_id)
-        rng = np.random.default_rng(key)
-        return float(rng.normal(scale=self.noise_scale))
 
     # ------------------------------------------------------------------ #
     @staticmethod

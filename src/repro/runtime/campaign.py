@@ -332,18 +332,27 @@ class CampaignRuntime:
 
     def _stage_docking(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
         cfg = self.campaign
+        # engine/workers are deliberately absent from the stage's
+        # checkpoint ingredients: the batched and scalar dockers are
+        # bit-identical, so switching engines must keep checkpoints warm
         docking = CDT3Docking(
             num_poses=cfg.poses_per_compound,
             monte_carlo_steps=cfg.docking_mc_steps,
             restarts=cfg.docking_restarts,
             seed=derive_seed(cfg.seed, "docking"),
+            engine=cfg.docking_engine,
+            max_workers=cfg.docking_workers,
         )
         database = docking.run(context["receptors"], context["ligands"])
         return {"database": database}
 
     def _stage_mmgbsa(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
         cfg = self.campaign
-        mmgbsa = CDT4Mmgbsa(subset_fraction=cfg.mmgbsa_subset_fraction, seed=derive_seed(cfg.seed, "mmgbsa"))
+        mmgbsa = CDT4Mmgbsa(
+            subset_fraction=cfg.mmgbsa_subset_fraction,
+            seed=derive_seed(cfg.seed, "mmgbsa"),
+            engine=cfg.docking_engine,
+        )
         site_map = {name: receptor.site for name, receptor in context["receptors"].items()}
         database = mmgbsa.run(context["database"], site_map)
         return {"database": database}

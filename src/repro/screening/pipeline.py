@@ -43,6 +43,12 @@ class CampaignConfig:
     poses_per_compound: int = 4
     docking_mc_steps: int = 25
     docking_restarts: int = 2
+    #: docking/rescoring engine: "batched" (lockstep MC on the pairwise
+    #: kernel) or "scalar" (golden reference) — bit-identical results, so
+    #: the choice (like ``docking_workers``) never enters checkpoint keys
+    docking_engine: str = "batched"
+    #: bound on the per-site compound pool of ``dock_many``
+    docking_workers: int = 1
     mmgbsa_subset_fraction: float = 1.0
     poses_per_job: int = 200
     nodes_per_job: int = 4

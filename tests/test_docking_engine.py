@@ -1,0 +1,438 @@
+"""Golden-equivalence suite for the batched docking engine.
+
+The scalar ``PoseGenerator`` (per-pose ``compute_terms`` on Python Atom
+objects) is the golden reference; the batched kernel and the lockstep
+``BatchedMonteCarloDocker`` must reproduce it **bit-identically** —
+``np.array_equal`` / ``==`` on every pose coordinate, score and RMSD, no
+tolerances — across restart counts, ligand sizes, scorers and the
+with/without-reference paths.  Hypothesis property tests pin down the
+clustering function's batch-width invariance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.complexes import InteractionModel, ProteinLigandComplex
+from repro.docking.conveyorlc import CDT1Receptor, CDT2Ligand, CDT3Docking, CDT4Mmgbsa
+from repro.docking.engine import (
+    BatchedMonteCarloDocker,
+    dock_many,
+    make_docker,
+    pairwise_rmsd,
+    select_pose_indices,
+)
+from repro.docking.mmgbsa import MMGBSARescorer
+from repro.docking.poses import (
+    MaximizePkScorer,
+    PoseGenerator,
+    molecule_with_coordinates,
+    rmsd,
+)
+from repro.docking.vina import VinaScorer
+
+
+def _posed(ligand, site, offset=(0.0, 0.0, -2.0)):
+    return ligand.translate(-ligand.centroid() + site.center + np.asarray(offset))
+
+
+def _assert_poses_identical(scalar_poses, batched_poses):
+    assert len(scalar_poses) == len(batched_poses)
+    for a, b in zip(scalar_poses, batched_poses):
+        assert a.pose_id == b.pose_id
+        assert a.score == b.score
+        assert np.array_equal(a.complex.ligand.coordinates, b.complex.ligand.coordinates)
+        if np.isnan(a.rmsd_to_reference):
+            assert np.isnan(b.rmsd_to_reference)
+        else:
+            assert a.rmsd_to_reference == b.rmsd_to_reference
+
+
+# --------------------------------------------------------------------------- #
+# kernel equivalence
+# --------------------------------------------------------------------------- #
+class TestBatchedKernel:
+    def test_terms_bit_identical_to_scalar(self, protease_site, prepared_ligands, interaction_model):
+        for prepared in prepared_ligands[:3]:
+            ligand = _posed(prepared.molecule, protease_site)
+            coords = np.stack([ligand.coordinates + 0.17 * i for i in range(4)])
+            batch = interaction_model.compute_terms_batch(protease_site, ligand, coords)
+            assert len(batch) == 4
+            for i in range(4):
+                pose = molecule_with_coordinates(ligand, coords[i])
+                scalar = interaction_model.compute_terms(
+                    ProteinLigandComplex(protease_site, pose, complex_id="k")
+                )
+                assert scalar == batch.term(i)
+
+    def test_terms_identical_when_no_pairs_within_cutoff(self, protease_site, prepared_ligands, interaction_model):
+        """A pose far outside the pocket exercises the empty-scatter path."""
+        ligand = _posed(prepared_ligands[0].molecule, protease_site)
+        far = ligand.coordinates + np.array([120.0, 0.0, 0.0])
+        batch = interaction_model.compute_terms_batch(protease_site, ligand, far[None])
+        scalar = interaction_model.compute_terms(
+            ProteinLigandComplex(protease_site, molecule_with_coordinates(ligand, far))
+        )
+        assert scalar == batch.term(0)
+
+    def test_true_pk_batch_matches_scalar(self, protease_site, prepared_ligands, interaction_model):
+        ligand = _posed(prepared_ligands[1].molecule, protease_site)
+        coords = np.stack([ligand.coordinates - 0.21 * i for i in range(3)])
+        batch = interaction_model.true_pk_batch(protease_site, ligand, coords)
+        for i in range(3):
+            pose = molecule_with_coordinates(ligand, coords[i])
+            assert interaction_model.true_pk(ProteinLigandComplex(protease_site, pose)) == batch[i]
+
+    def test_single_pose_promotion_and_validation(self, protease_site, prepared_ligands, interaction_model):
+        ligand = _posed(prepared_ligands[0].molecule, protease_site)
+        single = interaction_model.compute_terms_batch(protease_site, ligand, ligand.coordinates)
+        assert len(single) == 1
+        with pytest.raises(ValueError):
+            interaction_model.compute_terms_batch(protease_site, ligand, np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            interaction_model.compute_terms_batch(
+                protease_site, ligand, np.zeros((1, ligand.num_atoms + 1, 3))
+            )
+
+
+class TestBatchedScorers:
+    @pytest.mark.parametrize("scorer_factory", [VinaScorer, MMGBSARescorer])
+    def test_score_batch_bit_identical(self, scorer_factory, protease_site, prepared_ligands):
+        scorer = scorer_factory()
+        ligand = _posed(prepared_ligands[0].molecule, protease_site)
+        coords = np.stack([ligand.coordinates + 0.29 * i for i in range(5)])
+        batch = scorer.score_batch(protease_site, ligand, coords, complex_id="c7", pose_id=2)
+        scalar = [
+            scorer.score(
+                ProteinLigandComplex(
+                    protease_site,
+                    molecule_with_coordinates(ligand, coords[i]),
+                    complex_id="c7",
+                    pose_id=2,
+                )
+            )
+            for i in range(5)
+        ]
+        assert np.array_equal(batch, np.array(scalar))
+
+    @pytest.mark.parametrize("scorer_factory", [VinaScorer, MMGBSARescorer])
+    def test_score_many_matches_per_complex_score_exactly(
+        self, scorer_factory, sarscov2_sites, prepared_ligands
+    ):
+        """Regression for the 'Vectorized convenience wrapper' docstring lie:
+        score_many now actually batches — and must match score() exactly,
+        including across mixed sites, ligands and pose ids."""
+        scorer = scorer_factory()
+        sites = [sarscov2_sites["protease1"], sarscov2_sites["spike1"]]
+        complexes = []
+        for index, prepared in enumerate(prepared_ligands):
+            site = sites[index % 2]
+            complexes.append(
+                ProteinLigandComplex(
+                    site,
+                    _posed(prepared.molecule, site, offset=(0.1 * index, 0.0, -2.0)),
+                    complex_id=f"cmp{index}",
+                    pose_id=index % 3,
+                )
+            )
+        many = scorer.score_many(complexes)
+        scalar = np.array([scorer.score(c) for c in complexes])
+        assert np.array_equal(many, scalar)
+        assert scorer.score_many([]).shape == (0,)
+
+    def test_score_many_chunked_groups_bit_identical(
+        self, monkeypatch, protease_site, prepared_ligands
+    ):
+        """Chunking a large group (the campaign-scale memory bound) never
+        changes a bit: per-pose rows reduce independently."""
+        import repro.chem.complexes as complexes_module
+
+        scorer = VinaScorer()
+        ligand = _posed(prepared_ligands[0].molecule, protease_site)
+        complexes = [
+            ProteinLigandComplex(
+                protease_site,
+                molecule_with_coordinates(ligand, ligand.coordinates + 0.11 * i),
+                complex_id=f"c{i}",
+            )
+            for i in range(7)
+        ]
+        unchunked = scorer.score_many(complexes)
+        monkeypatch.setattr(complexes_module, "GROUPED_TERMS_CHUNK_POSES", 2)
+        chunked = VinaScorer().score_many(complexes)
+        assert np.array_equal(unchunked, chunked)
+
+    def test_rescore_many_matches_rescore(self, protease_site, prepared_ligands):
+        generator = BatchedMonteCarloDocker(VinaScorer(), num_poses=4, monte_carlo_steps=8, restarts=2, seed=3)
+        poses = generator.dock(protease_site, prepared_ligands[0].molecule, complex_id="c")
+        rescorer = MMGBSARescorer()
+        assert rescorer.rescore_many(poses) == rescorer.rescore(poses)
+        assert rescorer.rescore_many(poses, max_poses=2) == rescorer.rescore(poses, max_poses=2)
+
+    def test_systematic_error_memoized(self, example_complex):
+        vina = VinaScorer()
+        first = vina.score(example_complex)
+        assert (example_complex.complex_id, example_complex.pose_id) in vina._error_cache
+        assert vina.score(example_complex) == first
+
+
+# --------------------------------------------------------------------------- #
+# docker equivalence
+# --------------------------------------------------------------------------- #
+class TestDockerGoldenEquivalence:
+    @pytest.mark.parametrize("restarts", [1, 4, 8])
+    def test_bit_identical_across_restarts(self, restarts, protease_site, prepared_ligands):
+        scorer = VinaScorer()
+        kwargs = dict(num_poses=6, monte_carlo_steps=10, restarts=restarts, seed=11)
+        ligand = prepared_ligands[0].molecule
+        scalar = PoseGenerator(scorer, **kwargs).dock(protease_site, ligand, complex_id="c")
+        batched = BatchedMonteCarloDocker(scorer, **kwargs).dock(protease_site, ligand, complex_id="c")
+        _assert_poses_identical(scalar, batched)
+
+    def test_bit_identical_across_ligand_sizes(self, protease_site, prepared_ligands):
+        scorer = VinaScorer()
+        kwargs = dict(num_poses=4, monte_carlo_steps=8, restarts=3, seed=5)
+        sizes = set()
+        for prepared in prepared_ligands:
+            ligand = prepared.molecule
+            sizes.add(ligand.num_atoms)
+            scalar = PoseGenerator(scorer, **kwargs).dock(protease_site, ligand, complex_id="c")
+            batched = BatchedMonteCarloDocker(scorer, **kwargs).dock(protease_site, ligand, complex_id="c")
+            _assert_poses_identical(scalar, batched)
+        assert len(sizes) > 1, "fixture should cover multiple ligand sizes"
+
+    @pytest.mark.parametrize("with_reference", [True, False])
+    def test_bit_identical_with_and_without_reference(
+        self, with_reference, protease_site, prepared_ligands
+    ):
+        scorer = VinaScorer()
+        ligand = prepared_ligands[1].molecule
+        reference = _posed(ligand, protease_site) if with_reference else None
+        kwargs = dict(num_poses=5, monte_carlo_steps=12, restarts=2, seed=17)
+        scalar = PoseGenerator(scorer, **kwargs).dock(
+            protease_site, ligand, complex_id="c", reference=reference
+        )
+        batched = BatchedMonteCarloDocker(scorer, **kwargs).dock(
+            protease_site, ligand, complex_id="c", reference=reference
+        )
+        _assert_poses_identical(scalar, batched)
+        if with_reference:
+            assert all(np.isfinite(p.rmsd_to_reference) for p in batched)
+
+    @pytest.mark.parametrize(
+        "scorer_factory",
+        [VinaScorer, MMGBSARescorer, lambda: MaximizePkScorer(InteractionModel())],
+    )
+    def test_bit_identical_across_scorers(self, scorer_factory, protease_site, prepared_ligands):
+        scorer = scorer_factory()
+        kwargs = dict(num_poses=4, monte_carlo_steps=10, restarts=2, seed=23)
+        ligand = prepared_ligands[2].molecule
+        scalar = PoseGenerator(scorer, **kwargs).dock(protease_site, ligand, complex_id="c")
+        batched = BatchedMonteCarloDocker(scorer, **kwargs).dock(protease_site, ligand, complex_id="c")
+        _assert_poses_identical(scalar, batched)
+
+    def test_scalar_scorer_fallback_path(self, protease_site, prepared_ligands):
+        """A scorer without score_batch still docks lockstep, bit-identically."""
+
+        class ScalarOnly:
+            def __init__(self):
+                self._vina = VinaScorer()
+
+            def score(self, complex_):
+                return self._vina.score(complex_)
+
+        kwargs = dict(num_poses=3, monte_carlo_steps=6, restarts=2, seed=31)
+        ligand = prepared_ligands[0].molecule
+        scalar = PoseGenerator(ScalarOnly(), **kwargs).dock(protease_site, ligand, complex_id="c")
+        batched = BatchedMonteCarloDocker(ScalarOnly(), **kwargs).dock(protease_site, ligand, complex_id="c")
+        _assert_poses_identical(scalar, batched)
+
+    def test_restart_chains_independent_of_batch_width(self, protease_site, prepared_ligands):
+        """Chain r of a width-R run equals chain r of any wider run: the
+        per-restart stream protocol decouples trajectories from batch width."""
+        scorer = VinaScorer()
+        ligand = prepared_ligands[0].molecule
+        chains = {}
+        for restarts in (1, 2, 6):
+            docker = BatchedMonteCarloDocker(
+                scorer, num_poses=4, monte_carlo_steps=8, restarts=restarts, seed=13
+            )
+            chains[restarts] = docker.run_chains(protease_site, ligand, complex_id="c")
+        for narrow, wide in ((1, 2), (2, 6), (1, 6)):
+            scores_n, coords_n = chains[narrow]
+            scores_w, coords_w = chains[wide]
+            assert np.array_equal(scores_n, scores_w[: len(scores_n)])
+            assert np.array_equal(coords_n, coords_w[: len(coords_n)])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BatchedMonteCarloDocker(VinaScorer(), num_poses=0)
+        with pytest.raises(ValueError):
+            BatchedMonteCarloDocker(VinaScorer(), restarts=0)
+        with pytest.raises(ValueError):
+            PoseGenerator(VinaScorer(), monte_carlo_steps=-1)
+        with pytest.raises(ValueError):
+            make_docker("nope", VinaScorer())
+
+
+# --------------------------------------------------------------------------- #
+# clustering properties
+# --------------------------------------------------------------------------- #
+def _reference_selection(scores, coords, num_poses, min_separation):
+    """Nested-loop greedy selection mirroring the scalar docker's clustering."""
+    order = sorted(range(len(scores)), key=lambda i: scores[i])
+    selected: list[int] = []
+    for index in order:
+        if len(selected) >= num_poses:
+            break
+        ok = True
+        for kept in selected:
+            diff = coords[index] - coords[kept]
+            if float(np.sqrt((diff**2).sum(axis=1).mean())) < min_separation:
+                ok = False
+                break
+        if ok:
+            selected.append(index)
+    return selected
+
+
+@st.composite
+def _candidate_sets(draw):
+    num = draw(st.integers(min_value=1, max_value=10))
+    atoms = draw(st.integers(min_value=2, max_value=6))
+    # coarse integer-derived coordinates and few distinct score values force
+    # both RMSD-threshold collisions and score ties (stable-order territory)
+    coords = draw(
+        st.lists(
+            st.lists(
+                st.tuples(*[st.integers(min_value=-3, max_value=3)] * 3),
+                min_size=atoms,
+                max_size=atoms,
+            ),
+            min_size=num,
+            max_size=num,
+        )
+    )
+    scores = draw(st.lists(st.sampled_from([-3.0, -1.5, 0.0, 0.5]), min_size=num, max_size=num))
+    return np.asarray(scores), np.asarray(coords, dtype=np.float64) * 0.4
+
+
+class TestClusteringProperties:
+    @given(_candidate_sets(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_selection_matches_nested_loop_reference(self, candidates, num_poses):
+        scores, coords = candidates
+        matrix = pairwise_rmsd(coords)
+        fast = select_pose_indices(scores, matrix, num_poses, min_separation=0.75)
+        assert fast == _reference_selection(scores, coords, num_poses, min_separation=0.75)
+
+    @given(_candidate_sets(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_invariant_to_batch_width(self, candidates, splits):
+        """Computing the RMSD matrix over any candidate-order-preserving
+        partition (then reassembling) never changes the selected poses —
+        clustering depends only on the ordered candidate list."""
+        scores, coords = candidates
+        num = len(scores)
+        matrix = pairwise_rmsd(coords)
+        rebuilt = np.empty_like(matrix)
+        bounds = np.linspace(0, num, splits + 1, dtype=int)
+        for a_start, a_end in zip(bounds[:-1], bounds[1:]):
+            for b_start, b_end in zip(bounds[:-1], bounds[1:]):
+                if a_end > a_start and b_end > b_start:
+                    block = coords[a_start:a_end][:, None] - coords[b_start:b_end][None, :]
+                    rebuilt[a_start:a_end, b_start:b_end] = np.sqrt(
+                        (block**2).sum(axis=-1).mean(axis=-1)
+                    )
+        assert np.array_equal(rebuilt, matrix)
+        assert select_pose_indices(scores, rebuilt, 4, 0.75) == select_pose_indices(
+            scores, matrix, 4, 0.75
+        )
+
+    def test_pairwise_rmsd_matches_molecule_rmsd(self, protease_site, prepared_ligands):
+        ligand = prepared_ligands[0].molecule
+        coords = np.stack([ligand.coordinates + 0.5 * i for i in range(4)])
+        matrix = pairwise_rmsd(coords)
+        for i in range(4):
+            for j in range(4):
+                a = molecule_with_coordinates(ligand, coords[i])
+                b = molecule_with_coordinates(ligand, coords[j])
+                assert matrix[i, j] == rmsd(a, b)
+
+
+# --------------------------------------------------------------------------- #
+# dock_many and the ConveyorLC / runtime wiring
+# --------------------------------------------------------------------------- #
+class TestDockMany:
+    def test_invariant_to_pool_width_and_engine(self, protease_site, prepared_ligands):
+        pairs = [(p.compound_id, p.molecule) for p in prepared_ligands[:4]]
+        kwargs = dict(scorer=VinaScorer(), seed=9, num_poses=3, monte_carlo_steps=6, restarts=2)
+        serial = dock_many(protease_site, pairs, max_workers=1, **kwargs)
+        pooled = dock_many(protease_site, pairs, max_workers=4, **kwargs)
+        scalar = dock_many(protease_site, pairs, max_workers=2, engine="scalar", **kwargs)
+        assert list(serial) == [cid for cid, _ in pairs]
+        for compound_id in serial:
+            _assert_poses_identical(serial[compound_id], pooled[compound_id])
+            _assert_poses_identical(serial[compound_id], scalar[compound_id])
+
+    def test_references_recorded(self, protease_site, prepared_ligands):
+        compound_id = prepared_ligands[0].compound_id
+        ligand = prepared_ligands[0].molecule
+        poses = dock_many(
+            protease_site,
+            [(compound_id, ligand)],
+            scorer=VinaScorer(),
+            seed=2,
+            num_poses=2,
+            monte_carlo_steps=5,
+            restarts=1,
+            references={compound_id: _posed(ligand, protease_site)},
+        )[compound_id]
+        assert all(np.isfinite(p.rmsd_to_reference) for p in poses)
+
+
+class TestConveyorEngineEquivalence:
+    def test_cdt3_cdt4_engines_bit_identical(self, sarscov2_sites, molecules):
+        sites = [sarscov2_sites["protease1"], sarscov2_sites["spike1"]]
+        receptors = CDT1Receptor().run(sites)
+        ligands = CDT2Ligand().run(molecules[:3], library="t")
+        site_map = {name: record.site for name, record in receptors.items()}
+        databases = {}
+        for engine in ("batched", "scalar"):
+            docking = CDT3Docking(num_poses=3, monte_carlo_steps=6, restarts=2, seed=0, engine=engine)
+            database = docking.run(receptors, ligands)
+            CDT4Mmgbsa(max_poses=2, engine=engine).run(database, site_map)
+            databases[engine] = database
+        batched, scalar = databases["batched"].records(), databases["scalar"].records()
+        assert len(batched) == len(scalar) > 0
+        for a, b in zip(batched, scalar):
+            assert a.key == b.key
+            assert a.vina_score == b.vina_score
+            assert np.array_equal(a.pose.coordinates, b.pose.coordinates)
+            if np.isnan(a.mmgbsa_score):
+                assert np.isnan(b.mmgbsa_score)
+            else:
+                assert a.mmgbsa_score == b.mmgbsa_score
+
+    def test_cdt3_pooled_workers_bit_identical(self, sarscov2_sites, molecules):
+        receptors = CDT1Receptor().run([sarscov2_sites["protease1"]])
+        ligands = CDT2Ligand().run(molecules[:3], library="t")
+        serial = CDT3Docking(num_poses=2, monte_carlo_steps=5, restarts=2, seed=4).run(receptors, ligands)
+        pooled = CDT3Docking(
+            num_poses=2, monte_carlo_steps=5, restarts=2, seed=4, max_workers=3
+        ).run(receptors, ligands)
+        assert len(serial) == len(pooled)
+        for a, b in zip(serial.records(), pooled.records()):
+            assert a.key == b.key and a.vina_score == b.vina_score
+            assert np.array_equal(a.pose.coordinates, b.pose.coordinates)
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            CDT3Docking(engine="nope")
+        with pytest.raises(ValueError):
+            CDT3Docking(max_workers=0)
+        with pytest.raises(ValueError):
+            CDT4Mmgbsa(engine="nope")
