@@ -5,7 +5,9 @@ from repro.datasets.pdbbind import PDBbindConfig, PDBbindDataset, PDBbindEntry, 
 from repro.datasets.libraries import (
     LIBRARY_PROFILES,
     CompoundLibrary,
+    StreamingLibrary,
     build_screening_deck,
+    make_streaming_library,
 )
 from repro.datasets.assays import (
     InhibitionAssay,
@@ -22,7 +24,9 @@ __all__ = [
     "generate_pdbbind",
     "CompoundLibrary",
     "LIBRARY_PROFILES",
+    "StreamingLibrary",
     "build_screening_deck",
+    "make_streaming_library",
     "InhibitionAssay",
     "make_assay_panel",
     "simulate_campaign_assays",

@@ -114,6 +114,69 @@ LIBRARY_PROFILES: dict[str, CompoundLibrary] = {
 TOTAL_LIBRARY_SIZE = sum(lib.full_size for lib in LIBRARY_PROFILES.values())
 
 
+@dataclass(frozen=True)
+class StreamingLibrary:
+    """A lazily-generated mega-library for the streaming screening engine.
+
+    :meth:`CompoundLibrary.generate` draws compounds from one sequential
+    RNG stream, so compound ``i`` depends on every compound before it —
+    fine for materialized decks, fatal for shard-parallel streaming
+    (shard boundaries would change every molecule).  A
+    ``StreamingLibrary`` instead derives an independent seed per
+    compound *index*, so ``compound(i)`` is a pure function of
+    ``(library, seed, i)``: any shard partitioning, any worker
+    interleaving and any resume point generates bit-identical molecules,
+    and nothing is held in memory until a shard asks for its slice.
+
+    Sized to millions of compounds, iterating it costs O(shard) memory;
+    ``len()`` is the only thing that scales with ``size``.
+    """
+
+    library: CompoundLibrary
+    size: int
+    seed: int = 0
+    id_prefix: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("size must be non-negative")
+
+    @property
+    def prefix(self) -> str:
+        return self.id_prefix or f"{self.library.id_prefix}S"
+
+    def __len__(self) -> int:
+        return int(self.size)
+
+    def compound_name(self, index: int) -> str:
+        return f"{self.prefix}-{index + 1:09d}"
+
+    def compound(self, index: int) -> Molecule:
+        """Generate compound ``index`` from its own derived seed."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"compound index {index} out of range [0, {self.size})")
+        generator = MoleculeGenerator(
+            self.library.profile,
+            seed=derive_seed(self.seed, "stream", self.library.name, int(index)),
+        )
+        return generator.generate(name=self.compound_name(index))
+
+    def generate_range(self, start: int, stop: int) -> list[Molecule]:
+        """Materialize one shard ``[start, stop)`` — the streaming engine's slice hook."""
+        start = max(int(start), 0)
+        stop = min(int(stop), self.size)
+        return [self.compound(index) for index in range(start, stop)]
+
+
+def make_streaming_library(
+    name: str = "enamine", size: int = 1_000_000, seed: int = 0
+) -> StreamingLibrary:
+    """A :class:`StreamingLibrary` over one of the named library profiles."""
+    if name not in LIBRARY_PROFILES:
+        raise KeyError(f"unknown library '{name}'; options: {sorted(LIBRARY_PROFILES)}")
+    return StreamingLibrary(library=LIBRARY_PROFILES[name], size=int(size), seed=int(seed))
+
+
 @dataclass
 class ScreeningDeck:
     """A concrete, generated subset of the libraries used by a campaign."""

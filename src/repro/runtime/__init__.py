@@ -7,7 +7,12 @@ routes fusion scoring through either batch jobs or the online serving
 service behind one :class:`StageExecutor` interface.
 """
 
-from repro.runtime.campaign import CAMPAIGN_STAGES, CampaignRuntime, RuntimeConfig
+from repro.runtime.campaign import (
+    CAMPAIGN_STAGES,
+    STREAMING_CAMPAIGN_STAGES,
+    CampaignRuntime,
+    RuntimeConfig,
+)
 from repro.runtime.checkpoint import CheckpointStore, checkpoint_key
 from repro.runtime.executor import (
     BatchStageExecutor,
@@ -28,6 +33,7 @@ from repro.runtime.stages import (
 
 __all__ = [
     "CAMPAIGN_STAGES",
+    "STREAMING_CAMPAIGN_STAGES",
     "CampaignRuntime",
     "RuntimeConfig",
     "CheckpointStore",

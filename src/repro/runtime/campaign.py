@@ -38,11 +38,12 @@ from repro.chem.protein import make_sarscov2_targets
 from repro.datasets.assays import make_assay_panel, simulate_campaign_assays
 from repro.datasets.libraries import build_screening_deck
 from repro.docking.ampl import AMPLSurrogate
-from repro.docking.conveyorlc import CDT1Receptor, CDT2Ligand, CDT3Docking, CDT4Mmgbsa
+from repro.docking.conveyorlc import CDT1Receptor, CDT2Ligand, CDT3Docking, CDT4Mmgbsa, DockingDatabase
 from repro.featurize.engine import FeaturePipeline
 from repro.featurize.pipeline import ComplexFeaturizer
 from repro.hpc.cluster import SimulatedCluster
 from repro.hpc.faults import FaultInjector
+from repro.hpc.h5store import H5Store
 from repro.hpc.scheduler import Job, JobScheduler, SchedulerConfig
 from repro.nn.module import Module
 from repro.runtime.checkpoint import CheckpointStore, checkpoint_key
@@ -56,6 +57,8 @@ from repro.runtime.executor import (
 )
 from repro.runtime.stages import RuntimeReport, Stage, StageFailure, StageGraph, StageReport
 from repro.screening.costfunction import CompoundCostFunction, CompoundScore
+from repro.screening.job import JobResult
+from repro.screening.output import write_job_output, write_topk
 from repro.screening.pipeline import CampaignConfig, CampaignResult
 from repro.serving.requests import model_fingerprint, site_digest
 from repro.utils.logging import get_logger
@@ -72,6 +75,23 @@ CAMPAIGN_STAGES = StageGraph(
         Stage("mmgbsa", provides=("database",), deps=("docking",)),
         Stage("fusion_scoring", provides=("database", "job_results"), deps=("mmgbsa",)),
         Stage("cost_function", provides=("selections", "ampl_models"), deps=("fusion_scoring",)),
+        Stage("assays", provides=("assays", "structural_pk"), deps=("cost_function",)),
+    ]
+)
+
+#: The streaming campaign's stage graph: prep/dock/rescore/score collapse
+#: into one shard-streamed stage (:mod:`repro.screening.stream`) whose
+#: *internal* progress checkpoints at shard granularity through the same
+#: store, while the downstream selection/assay stages are unchanged.
+STREAMING_CAMPAIGN_STAGES = StageGraph(
+    [
+        Stage("library", provides=("sites", "deck")),
+        Stage(
+            "streamed_screen",
+            provides=("receptors", "database", "job_results", "topk", "stream_stats"),
+            deps=("library",),
+        ),
+        Stage("cost_function", provides=("selections", "ampl_models"), deps=("streamed_screen",)),
         Stage("assays", provides=("assays", "structural_pk"), deps=("cost_function",)),
     ]
 )
@@ -122,13 +142,14 @@ class CampaignRuntime:
         self.interaction_model = interaction_model or InteractionModel()
         if self.runtime.executor not in ("auto", "batch", "serving"):
             raise ValueError(f"unknown executor '{self.runtime.executor}'")
+        self.campaign.validate_streaming()
         if checkpoints is not None:
             self.checkpoints: CheckpointStore | None = checkpoints
         elif self.runtime.checkpoint_dir is not None:
             self.checkpoints = CheckpointStore(self.runtime.checkpoint_dir)
         else:
             self.checkpoints = None
-        self.stages = CAMPAIGN_STAGES
+        self.stages = STREAMING_CAMPAIGN_STAGES if self.campaign.streaming else CAMPAIGN_STAGES
         self.report = RuntimeReport()
         #: how many times each stage actually executed over this
         #: runtime's lifetime (restores do not count) — the counters the
@@ -296,6 +317,13 @@ class CampaignRuntime:
                 # batch composition (and therefore ulp-level rounding) follows these
                 ingredients["serving_max_batch_size"] = cfg.serving.max_batch_size
             return ingredients
+        if stage_name == "streamed_screen":
+            ingredients = dict(self._stream_shard_ingredients())
+            # top_k shapes the folded artifact but not shard payloads, so
+            # it salts the stage key only — a resumed run with a different
+            # K reuses every shard checkpoint and just re-folds
+            ingredients["top_k"] = cfg.resolved_top_k()
+            return ingredients
         if stage_name == "cost_function":
             weights = tuple(
                 sorted((k, v) for k, v in vars(self.cost_function).items() if not k.startswith("_"))
@@ -308,6 +336,38 @@ class CampaignRuntime:
                 "interaction_model": tuple(sorted(vars(self.interaction_model).items())),
             }
         raise KeyError(f"no ingredients defined for stage '{stage_name}'")
+
+    def _stream_shard_ingredients(self) -> dict[str, object]:
+        """Everything that shapes one streamed shard's payload.
+
+        ``shard_size`` and worker count are deliberately absent: shard
+        results are bit-identical across both (the same invariance —
+        and the same reasoning — as ``docking_engine``'s exclusion from
+        the docking stage key), so retuning throughput must keep shard
+        checkpoints warm.  ``fusion_batch_size`` *is* included because
+        NN batch composition moves ulps.
+        """
+        cfg = self.campaign
+        sites = "sarscov2-default"
+        if cfg.sites is not None:
+            sites = tuple(sorted((name, site_digest(site)) for name, site in cfg.sites.items()))
+        return {
+            "seed": cfg.seed,
+            "sites": sites,
+            "poses_per_compound": cfg.poses_per_compound,
+            "monte_carlo_steps": cfg.docking_mc_steps,
+            "restarts": cfg.docking_restarts,
+            "mmgbsa_subset_fraction": cfg.mmgbsa_subset_fraction,
+            "model": self.model_fp(),
+            "featurizer": self._featurizer_digest(),
+            "executor": self.executor_name,
+            "fusion_batch_size": cfg.fusion_batch_size,
+            **(
+                {"serving_max_batch_size": cfg.serving.max_batch_size}
+                if self.executor_name == "serving"
+                else {}
+            ),
+        }
 
     # ------------------------------------------------------------------ #
     # stage bodies (each mirrors the corresponding slice of the original
@@ -397,6 +457,114 @@ class CampaignRuntime:
                 "bytes": stats.bytes,
             }
         return {"database": database, "job_results": job_results}
+
+    def _stage_streamed_screen(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
+        """Shard-streamed prep → dock → MM/GBSA → fusion with bounded memory.
+
+        Shards checkpoint individually through the runtime's store (under
+        a salt derived from :meth:`_stream_shard_ingredients`), so a
+        campaign killed mid-stage resumes at shard granularity; once the
+        stage completes, its own stage-level checkpoint carries the
+        folded payload and the shard files are never consulted again.
+        """
+        # imported lazily: repro.screening.stream uses the runtime's
+        # checkpoint store and retry policy, and this module is imported
+        # by the runtime package __init__
+        from repro.screening.stream import StreamConfig, StreamingScreen, StreamShardError
+
+        cfg = self.campaign
+        sites = context["sites"]
+        deck = context["deck"]
+        stream_config = StreamConfig(
+            shard_size=cfg.shard_size,
+            workers=self.runtime.max_workers,
+            top_k=cfg.resolved_top_k(),
+            fusion_batch_size=cfg.fusion_batch_size,
+            poses_per_compound=cfg.poses_per_compound,
+            docking_mc_steps=cfg.docking_mc_steps,
+            docking_restarts=cfg.docking_restarts,
+            docking_engine=cfg.docking_engine,
+            mmgbsa=True,
+            seed=cfg.seed,
+            retry=self.runtime.retry,
+        )
+        salt = checkpoint_key("stream-shard-salt", self._stream_shard_ingredients())
+        service = None
+        if self.executor_name == "serving":
+            from repro.serving import ScoringService
+
+            service = ScoringService(model=self.model, featurizer=self.featurizer, config=cfg.serving).start()
+        try:
+            engine = StreamingScreen(
+                self.model,
+                self.featurizer,
+                sites,
+                stream_config,
+                service=service,
+                checkpoints=self.checkpoints,
+                checkpoint_salt=salt,
+                fault_injector=self.runtime.fault_injector,
+            )
+            try:
+                result = engine.run(deck.molecules, collect_predictions=True, collect_records=True)
+            except StreamShardError as error:
+                # the stage failed, but the shards folded before the
+                # failure are checkpointed; preserve that progress — and
+                # the fault history, like _stage_fusion_scoring does —
+                # in the (kept) failure report so operators and the
+                # resume tests can see what a re-run will skip
+                report.attempts = error.total_attempts
+                report.retries = error.total_retries
+                report.faults = list(error.faults)
+                report.extra["stream"] = {
+                    "num_shards": float(error.num_shards),
+                    "shards_executed": float(error.shards_executed),
+                    "shards_restored": float(error.shards_restored),
+                }
+                raise
+        finally:
+            if service is not None:
+                service.close()
+
+        database = DockingDatabase()
+        database.extend(result.records or [])
+        job_results: list[JobResult] = []
+        for site_name in sorted(sites):
+            site_predictions = (result.predictions or {}).get(site_name, {})
+            store = H5Store()
+            keys = list(site_predictions)
+            write_job_output(
+                store,
+                site_name,
+                [cid for cid, _pid in keys],
+                [pid for _cid, pid in keys],
+                np.array([site_predictions[key] for key in keys], dtype=np.float64),
+                job_name=f"{site_name}-stream",
+                timings={"evaluation": result.duration_s},
+            )
+            ids, scores = result.topk_arrays(site_name)
+            write_topk(store, site_name, list(ids), scores, stats=result.stats[site_name].as_dict())
+            job_results.append(
+                JobResult(
+                    job_name=f"{site_name}-stream",
+                    site_name=site_name,
+                    predictions=dict(site_predictions),
+                    store=store,
+                    timings={"evaluation": result.duration_s},
+                    num_ranks=stream_config.workers,
+                )
+            )
+        report.attempts = result.total_attempts
+        report.retries = result.total_retries
+        report.faults = list(result.faults)
+        report.extra["stream"] = result.summary()
+        return {
+            "receptors": engine.receptors,
+            "database": database,
+            "job_results": job_results,
+            "topk": result.top_k,
+            "stream_stats": {name: stats.as_dict() for name, stats in result.stats.items()},
+        }
 
     def _stage_cost_function(self, context: dict, report: StageReport, use_threads: bool | None) -> dict:
         database = context["database"]
@@ -507,4 +675,6 @@ class CampaignRuntime:
             stores=[result.store for result in job_results],
             ampl_models=context["ampl_models"],
             structural_pk=context["structural_pk"],
+            topk=context.get("topk"),
+            stream_stats=context.get("stream_stats"),
         )

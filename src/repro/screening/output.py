@@ -33,6 +33,38 @@ def write_job_output(
         store.write_attr(prefix, key, float(value))
 
 
+def write_topk(
+    store: H5Store,
+    site_name: str,
+    compound_ids: list[str],
+    scores: np.ndarray,
+    stats: dict[str, float] | None = None,
+) -> None:
+    """Write one site's streaming top-K table (rank order) plus summary stats.
+
+    The streaming engine's end-of-run artifact: parallel ``compound_ids``
+    / ``score`` arrays already in ranking order, with the exact
+    streaming statistics (count/min/max/mean/std) as attributes — the
+    bounded-memory counterpart of the full per-pose prediction layout
+    written by :func:`write_job_output`.
+    """
+    if len(compound_ids) != len(scores):
+        raise ValueError("compound_ids and scores must be aligned")
+    prefix = f"topk/{site_name}"
+    store.write(f"{prefix}/compound_ids", np.array(compound_ids, dtype="U"))
+    store.write(f"{prefix}/score", np.asarray(scores, dtype=np.float64))
+    for key, value in (stats or {}).items():
+        store.write_attr(prefix, key, float(value))
+
+
+def read_topk(store: H5Store, site_name: str) -> tuple[list[str], np.ndarray]:
+    """Read one site's top-K table back as ``(compound_ids, scores)``."""
+    prefix = f"topk/{site_name}"
+    ids = store.read(f"{prefix}/compound_ids")
+    scores = store.read(f"{prefix}/score")
+    return [str(cid) for cid in ids], np.asarray(scores, dtype=np.float64)
+
+
 def read_predictions(store: H5Store, site_name: str) -> dict[tuple[str, int], float]:
     """Read every job's predictions for a site back into a dictionary."""
     out: dict[tuple[str, int], float] = {}

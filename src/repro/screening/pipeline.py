@@ -61,6 +61,46 @@ class CampaignConfig:
     #: (micro-batching + replica pool + result cache) instead of batch jobs
     use_serving: bool = False
     serving: ServingConfig = field(default_factory=ServingConfig)
+    #: stream the deck through the shard-parallel engine
+    #: (:mod:`repro.screening.stream`) instead of materializing every
+    #: intermediate stage result.  Bit-identical to the materialized path
+    #: when both score fusion with the same batch protocol (see
+    #: ``fusion_batch_size`` and docs/streaming.md).
+    streaming: bool = False
+    #: compounds per streamed shard — a pure throughput/memory knob:
+    #: results are bit-identical for every shard size, so (like
+    #: ``docking_engine``) it never enters checkpoint keys
+    shard_size: int = 64
+    #: per-site top-K retained by the streaming engine's exact
+    #: bounded-memory selector; ``0`` defaults to
+    #: ``compounds_tested_per_site``
+    top_k: int = 0
+    #: fusion-scoring batch protocol of the streaming path: poses per NN
+    #: batch *within* one compound (batches never span compounds, so the
+    #: composition — and therefore every ulp — is shard-size- and
+    #: worker-invariant); ``0`` scores each compound's poses in one batch.
+    #: ``1`` is the protocol shared with a ``batch_size_per_rank=1``
+    #: single-rank materialized campaign, which is what makes the two
+    #: paths bit-identical end to end.
+    fusion_batch_size: int = 0
+
+    def resolved_top_k(self) -> int:
+        return self.top_k if self.top_k > 0 else self.compounds_tested_per_site
+
+    def validate_streaming(self) -> None:
+        """Reject configurations the streaming path cannot honour exactly."""
+        if not self.streaming:
+            return
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        if self.fusion_batch_size < 0:
+            raise ValueError("fusion_batch_size must be non-negative")
+        if self.mmgbsa_subset_fraction != 1.0:
+            # the subset draw is a single global RNG choice over every
+            # compound — inherently unstreamable without materializing
+            # the compound list, and silently changing the subset would
+            # break bit-identity with the materialized path
+            raise ValueError("streaming campaigns require mmgbsa_subset_fraction == 1.0")
 
 
 @dataclass
@@ -75,6 +115,11 @@ class CampaignResult:
     stores: list[H5Store]
     ampl_models: dict[str, AMPLSurrogate]
     structural_pk: dict[str, dict[str, float]]  # site -> compound -> latent pK of best pose
+    #: streaming-path extras: per-site exact top-K ranking (by best
+    #: fusion pK) and streaming score statistics; ``None`` on the
+    #: materialized path
+    topk: dict | None = None
+    stream_stats: dict | None = None
 
     def tested_compounds(self, site_name: str) -> list[str]:
         return [score.compound_id for score in self.selections.get(site_name, [])]

@@ -263,7 +263,10 @@ class ScoringService:
 
     # -- bulk path -------------------------------------------------------- #
     def score_many(
-        self, complexes: list[ProteinLigandComplex], timeout: float | None = 300.0
+        self,
+        complexes: list[ProteinLigandComplex],
+        timeout: float | None = 300.0,
+        admission: bool = False,
     ) -> list[ScoreResponse]:
         """Score a list with deterministic batch composition.
 
@@ -271,6 +274,15 @@ class ScoringService:
         exactly ``max_batch_size`` (last chunk may be smaller) and each
         chunk is dispatched to the replica pool directly, bypassing the
         timing-dependent coalescing.  Responses come back in input order.
+
+        ``admission=True`` makes the bulk path backpressure-aware: each
+        chunk waits until it fits under ``queue_capacity`` in-flight
+        requests before dispatching, instead of queueing unboundedly on
+        the replica pool.  Unlike :meth:`submit`, bulk callers *block*
+        rather than receive :class:`Overloaded` — a streaming producer
+        (e.g. :class:`repro.screening.stream.StreamingScreen`) wants its
+        offered load throttled, not bounced.  Batch composition — and
+        therefore every score bit — is identical either way.
         """
         if not self._running:
             raise RuntimeError("ScoringService.score_many before start()")
@@ -307,6 +319,12 @@ class ScoringService:
         for begin in range(0, len(misses), size):
             chunk = misses[begin : begin + size]
             with self._inflight_cond:
+                if admission:
+                    # a chunk larger than the capacity could never be
+                    # admitted; let it through alone rather than deadlock
+                    headroom = max(self.config.queue_capacity, len(chunk))
+                    while self._inflight + len(chunk) > headroom:
+                        self._inflight_cond.wait()
                 self._inflight += len(chunk)
             try:
                 self.pool.submit(

@@ -22,6 +22,19 @@ class TestPartitioning:
         chunks = partition_evenly([1, 2], 4)
         assert [len(c) for c in chunks] == [1, 1, 0, 0]
 
+    def test_partition_degenerate_cases(self):
+        # empty input still yields num_parts (empty) chunks: idle MPI
+        # ranks participate in the collectives
+        assert partition_evenly([], 3) == [[], [], []]
+        # a generator input is materialized once, not consumed twice
+        assert partition_evenly(iter(range(4)), 2) == [[0, 1], [2, 3]]
+        with pytest.raises(ValueError):
+            partition_evenly([1, 2], -1)
+        with pytest.raises(ValueError):
+            partition_evenly([1, 2], 2.5)
+        # bool is an int subtype; True == 1 part is accepted
+        assert partition_evenly([1, 2], True) == [[1, 2]]
+
     def test_partition_into_jobs(self):
         jobs = partition_poses_into_jobs(list(range(7)), poses_per_job=3)
         assert [len(j) for j in jobs] == [3, 3, 1]
