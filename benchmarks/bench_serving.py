@@ -16,6 +16,7 @@ from concurrent.futures import ThreadPoolExecutor
 from benchmarks.conftest import write_artifact
 from repro.chem.complexes import ProteinLigandComplex
 from repro.serving import ScoringService, ServingConfig
+from repro.telemetry import MetricsRegistry
 
 REPLICA_COUNTS = (1, 2, 4)
 BATCH_SIZES = (2, 8)
@@ -32,7 +33,9 @@ def _request_traffic(campaign, limit: int = 48) -> list[ProteinLigandComplex]:
     ]
 
 
-def _drive(workbench, traffic, num_replicas: int, max_batch_size: int) -> dict:
+def _drive(
+    workbench, traffic, num_replicas: int, max_batch_size: int, registry: MetricsRegistry | None = None
+) -> dict:
     config = ServingConfig(
         max_batch_size=max_batch_size,
         max_wait_s=0.002,
@@ -41,7 +44,10 @@ def _drive(workbench, traffic, num_replicas: int, max_batch_size: int) -> dict:
         cache_enabled=False,  # measure raw scoring throughput, not cache hits
     )
     with ScoringService(
-        model=workbench.coherent_fusion, featurizer=workbench.featurizer, config=config
+        model=workbench.coherent_fusion,
+        featurizer=workbench.featurizer,
+        config=config,
+        registry=registry,
     ) as service:
         with ThreadPoolExecutor(max_workers=NUM_CLIENTS) as clients:
             pending = list(clients.map(service.submit, traffic))
@@ -54,6 +60,7 @@ def _drive(workbench, traffic, num_replicas: int, max_batch_size: int) -> dict:
         "num_clients": NUM_CLIENTS,
         "num_requests": len(traffic),
         "requests_per_second": snap.requests_per_second,
+        "requests_per_second_lifetime": snap.requests_per_second_lifetime,
         "latency_p50_ms": snap.latency_p50_ms,
         "latency_p99_ms": snap.latency_p99_ms,
         "mean_batch_size": snap.mean_batch_size,
@@ -64,16 +71,20 @@ def _drive(workbench, traffic, num_replicas: int, max_batch_size: int) -> dict:
 def test_serving_throughput_sweep(benchmark, workbench, campaign):
     """Sweep replicas x batch size; emit the JSON perf-trajectory record."""
     traffic = _request_traffic(campaign)
+    registry = MetricsRegistry()
 
     def sweep() -> list[dict]:
         rows = []
         for num_replicas in REPLICA_COUNTS:
             for max_batch_size in BATCH_SIZES:
-                rows.append(_drive(workbench, traffic, num_replicas, max_batch_size))
+                rows.append(_drive(workbench, traffic, num_replicas, max_batch_size, registry))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    write_artifact("serving_throughput.json", json.dumps(rows, indent=2))
+    write_artifact(
+        "serving_throughput.json",
+        json.dumps({"rows": rows, "registry": registry.snapshot()}, indent=2),
+    )
 
     assert {row["num_replicas"] for row in rows} >= set(REPLICA_COUNTS)
     for row in rows:

@@ -26,6 +26,12 @@ claims into ``benchmarks/artifacts/streaming_throughput.json``:
 The synthetic executor replaces only ``_execute_shard`` — scores are a
 pure vectorized function of the global compound index — so the measured
 loop is exactly the code path a mega-library campaign runs.
+
+A second benchmark pins the observability contract: full tracing
+(``repro.telemetry``) must cost < ``MAX_TELEMETRY_OVERHEAD`` on the
+smallest synthetic row (best-of-3, enabled vs disabled), and a traced
+pipeline run must export a schema-valid run record
+(``benchmarks/artifacts/streaming_run_record.json``).
 """
 
 from __future__ import annotations
@@ -42,9 +48,11 @@ from benchmarks.conftest import write_artifact
 from repro.chem.protein import make_sarscov2_targets
 from repro.datasets.libraries import build_screening_deck
 from repro.screening.stream import ShardOutcome, StreamConfig, StreamingScreen
+from repro.telemetry import Telemetry, validate_run_record
 
 MAX_MEMORY_GROWTH = 1.5
 MIN_WORKER_SCALING = 2.0
+MAX_TELEMETRY_OVERHEAD = 1.05
 MEMORY_SIZES = (10_000, 100_000)
 SCALING_COMPOUNDS = 20_000
 WORKER_COUNTS = (1, 4)
@@ -74,8 +82,10 @@ class _SyntheticFoldEngine(StreamingScreen):
     FEATURE_DIM = 192
     ROUNDS = 4
 
-    def __init__(self, sites, config: StreamConfig) -> None:
-        super().__init__(model=object(), featurizer=None, sites=sites, config=config)
+    def __init__(self, sites, config: StreamConfig, telemetry: Telemetry | None = None) -> None:
+        super().__init__(
+            model=object(), featurizer=None, sites=sites, config=config, telemetry=telemetry
+        )
         rng = np.random.default_rng(12345)
         self._freqs = rng.uniform(0.1, 3.0, self.FEATURE_DIM)
         self._weights = rng.standard_normal((self.FEATURE_DIM, self.FEATURE_DIM)) / np.sqrt(
@@ -104,9 +114,11 @@ class _SyntheticFoldEngine(StreamingScreen):
         )
 
 
-def _run_synthetic(sites, compounds: int, workers: int, shard_size: int = 512) -> tuple[float, object]:
+def _run_synthetic(
+    sites, compounds: int, workers: int, shard_size: int = 512, telemetry: Telemetry | None = None
+) -> tuple[float, object]:
     config = StreamConfig(shard_size=shard_size, workers=workers, top_k=50, seed=0)
-    engine = _SyntheticFoldEngine(sites, config)
+    engine = _SyntheticFoldEngine(sites, config, telemetry=telemetry)
     started = time.perf_counter()
     result = engine.run(_SyntheticRange(compounds))
     return time.perf_counter() - started, result
@@ -221,3 +233,65 @@ def test_streaming_throughput_and_memory(benchmark, workbench, bench_scale):
         )
     benchmark.extra_info["memory_growth_10x_library"] = growth
     benchmark.extra_info["worker_scaling_1_to_4"] = worker_speedup
+
+
+# --------------------------------------------------------------------------- #
+# telemetry: overhead ceiling + run-record artifact
+# --------------------------------------------------------------------------- #
+def _telemetry_overhead(sites) -> dict:
+    """Best-of-3 wall clock for the smallest synthetic row, traced vs not."""
+    compounds = MEMORY_SIZES[0]
+
+    def best_of_three(telemetry: Telemetry) -> float:
+        return min(
+            _run_synthetic(sites, compounds, workers=2, telemetry=telemetry)[0]
+            for _ in range(3)
+        )
+
+    disabled_s = best_of_three(Telemetry.disabled())
+    enabled_s = best_of_three(Telemetry(enabled=True))
+    return {
+        "compounds": compounds,
+        "workers": 2,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead": enabled_s / disabled_s if disabled_s > 0 else float("inf"),
+    }
+
+
+def test_telemetry_overhead_and_run_record(benchmark, workbench):
+    """Full tracing must cost < 5% on the streaming loop; the traced
+    pipeline run must export a schema-valid run record."""
+    sites = {"protease1": make_sarscov2_targets(seed=2020)["protease1"]}
+    overhead = benchmark.pedantic(lambda: _telemetry_overhead(sites), rounds=1, iterations=1)
+
+    telemetry = Telemetry(enabled=True)
+    deck = build_screening_deck({"emolecules": 4}, seed=2020)
+    config = StreamConfig(
+        shard_size=2,
+        workers=2,
+        top_k=10,
+        poses_per_compound=2,
+        docking_mc_steps=6,
+        docking_restarts=1,
+        mmgbsa_max_poses=2,
+        seed=2020,
+    )
+    engine = StreamingScreen(
+        workbench.coherent_fusion, workbench.featurizer, sites, config, telemetry=telemetry
+    )
+    result = engine.run(deck.molecules)
+    record = engine.run_record()
+    validate_run_record(record)
+    assert record["stages"][0]["name"] == "streamed_screen"
+    assert record["trace"]["num_spans"] > 0
+    assert record["metrics"]["counters"]["stream.compounds"] == result.num_compounds
+
+    write_artifact("streaming_run_record.json", json.dumps(record, indent=2))
+    write_artifact("streaming_telemetry_overhead.json", json.dumps(overhead, indent=2))
+
+    assert overhead["overhead"] < MAX_TELEMETRY_OVERHEAD, (
+        f"telemetry overhead {overhead['overhead']:.3f}x exceeds "
+        f"{MAX_TELEMETRY_OVERHEAD}x on the {overhead['compounds']}-compound row"
+    )
+    benchmark.extra_info["telemetry_overhead"] = overhead["overhead"]

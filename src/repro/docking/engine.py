@@ -39,6 +39,7 @@ from repro.docking.poses import (
     molecule_with_coordinates,
     perturbed_coords,
 )
+from repro.telemetry import current as current_telemetry
 from repro.utils.rng import derive_seed
 
 #: Engine names accepted by the ConveyorLC stages and the campaign config.
@@ -109,7 +110,19 @@ class BatchedMonteCarloDocker(PoseGenerator):
         complex_id: str = "",
         reference: Molecule | None = None,
     ) -> list[DockedPose]:
-        scores, coords = self.run_chains(site, ligand, complex_id)
+        # observation only: spans and counters never touch the restart RNG
+        # streams, so tracing on/off cannot move a bit of any pose
+        telemetry = current_telemetry()
+        kernel_calls = self.monte_carlo_steps + 1
+        with telemetry.tracer.span("mc-dock") as span:
+            span.set("restarts", self.restarts)
+            span.set("mc_steps", self.monte_carlo_steps)
+            span.set("kernel_calls", kernel_calls)
+            scores, coords = self.run_chains(site, ligand, complex_id)
+        registry = telemetry.registry
+        registry.counter("docking.compounds").inc()
+        registry.counter("docking.kernel_calls").inc(kernel_calls)
+        registry.counter("docking.poses_scored").inc(kernel_calls * self.restarts)
         rmsd_matrix = pairwise_rmsd(coords)
         selected = select_pose_indices(scores, rmsd_matrix, self.num_poses, self.min_pose_separation)
         if reference is not None:
@@ -263,8 +276,11 @@ def dock_many(
         )
         return docker.dock(site, molecule, complex_id=compound_id, reference=references.get(compound_id))
 
-    if max_workers > 1 and len(ligands) > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [(compound_id, pool.submit(dock_one, compound_id, molecule)) for compound_id, molecule in ligands]
-            return {compound_id: future.result() for compound_id, future in futures}
-    return {compound_id: dock_one(compound_id, molecule) for compound_id, molecule in ligands}
+    with current_telemetry().span("dock-many") as span:
+        span.set("ligands", len(ligands))
+        span.set("max_workers", max_workers)
+        if max_workers > 1 and len(ligands) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [(compound_id, pool.submit(dock_one, compound_id, molecule)) for compound_id, molecule in ligands]
+                return {compound_id: future.result() for compound_id, future in futures}
+        return {compound_id: dock_one(compound_id, molecule) for compound_id, molecule in ligands}

@@ -64,6 +64,7 @@ from repro.featurize.cache import (
 from repro.featurize.graph import GraphConfig, _row_normalize
 from repro.featurize.pipeline import FeaturizedComplex
 from repro.featurize.voxelize import VoxelGridConfig, random_axis_rotation
+from repro.telemetry import current as current_telemetry
 from repro.utils.rng import ensure_rng
 
 
@@ -543,19 +544,21 @@ class FeaturePipeline:
             targets = [float("nan")] * len(complexes)
         if len(targets) != len(complexes):
             raise ValueError("targets must match complexes in length")
-        if self.augment and training:
-            # one rotation draw per complex, in order — the same RNG
-            # consumption sequence as the scalar featurize_many loop
-            rotations = [
-                random_axis_rotation(self._rng, self.rotation_probability) for _ in complexes
-            ]
+        with current_telemetry().span("featurize-many") as span:
+            span.set("batch", len(complexes))
+            if self.augment and training:
+                # one rotation draw per complex, in order — the same RNG
+                # consumption sequence as the scalar featurize_many loop
+                rotations = [
+                    random_axis_rotation(self._rng, self.rotation_probability) for _ in complexes
+                ]
+                return [
+                    self._wrap(c, *self._compute_fresh(c, r), t)
+                    for c, r, t in zip(complexes, rotations, targets)
+                ]
             return [
-                self._wrap(c, *self._compute_fresh(c, r), t)
-                for c, r, t in zip(complexes, rotations, targets)
+                self._wrap(c, *self._compute(c, None), t) for c, t in zip(complexes, targets)
             ]
-        return [
-            self._wrap(c, *self._compute(c, None), t) for c, t in zip(complexes, targets)
-        ]
 
     # ------------------------------------------------------------------ #
     def prefetch(

@@ -14,6 +14,7 @@ from repro.nn.loss import mse_loss
 from repro.nn.module import Module
 from repro.nn.optim import build_optimizer
 from repro.nn.tensor import Tensor, no_grad
+from repro.telemetry import current as current_telemetry
 from repro.utils.rng import spawn_rng
 
 
@@ -137,15 +138,18 @@ class Trainer:
         """Run one epoch of optimization; returns the mean training MSE."""
         self.model.train()
         losses = []
-        for batch in self._loader(self.train_samples, shuffle=self.config.shuffle):
-            prediction = self.model(batch)
-            loss = mse_loss(prediction, Tensor(batch["target"]))
-            self.optimizer.zero_grad()
-            loss.backward()
-            if self.config.grad_clip is not None:
-                self._clip_gradients(self.config.grad_clip)
-            self.optimizer.step()
-            losses.append(loss.item())
+        with current_telemetry().span("train-epoch") as span:
+            for batch in self._loader(self.train_samples, shuffle=self.config.shuffle):
+                prediction = self.model(batch)
+                loss = mse_loss(prediction, Tensor(batch["target"]))
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.config.grad_clip is not None:
+                    self._clip_gradients(self.config.grad_clip)
+                self.optimizer.step()
+                losses.append(loss.item())
+                span.add("batches")
+                span.add("samples", len(batch["target"]))
         return float(np.mean(losses))
 
     def _clip_gradients(self, max_norm: float) -> None:

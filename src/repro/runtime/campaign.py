@@ -28,6 +28,7 @@ makespan and attempt statistics.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -61,6 +62,9 @@ from repro.screening.job import JobResult
 from repro.screening.output import write_job_output, write_topk
 from repro.screening.pipeline import CampaignConfig, CampaignResult
 from repro.serving.requests import model_fingerprint, site_digest
+from repro.telemetry import Telemetry, activate, build_run_record, stage_entry
+from repro.telemetry import current as current_telemetry
+from repro.telemetry.spans import phase_totals_of
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
 
@@ -133,6 +137,7 @@ class CampaignRuntime:
         cost_function: CompoundCostFunction | None = None,
         interaction_model: InteractionModel | None = None,
         checkpoints: CheckpointStore | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.model = model
         self.featurizer = featurizer
@@ -156,6 +161,13 @@ class CampaignRuntime:
         #: kill/resume tests assert on
         self.execution_counts: dict[str, int] = {name: 0 for name in self.stages.names()}
         self._model_fp: str | None = None
+        #: optional telemetry bundle; activated around :meth:`run` so
+        #: nested components (docking kernels, featurization, serving,
+        #: the streamed screen) trace into the same tracer.  Observation
+        #: only — never part of stage ingredients or checkpoint keys.
+        self.telemetry = telemetry
+        self._run_duration: float | None = None
+        self._run_telemetry: Telemetry | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -222,52 +234,115 @@ class CampaignRuntime:
         self.report = RuntimeReport()
         context: dict[str, Any] = {}
         keys: dict[str, str] = {}
-        for stage in self.stages:
-            key = self.stage_key(stage.name, keys)
-            keys[stage.name] = key
-            started = time.perf_counter()
-            payload = None
-            if self.checkpoints is not None and self.runtime.resume:
-                payload = self.checkpoints.load(stage.name, key)
-                if payload is not None and not set(stage.provides) <= set(payload):
-                    # e.g. a checkpoint written before a stage grew a new
-                    # artifact: treat as a miss, not a permanent failure
-                    logger.warning("checkpoint for '%s' lacks required artifacts; re-executing", stage.name)
-                    self.checkpoints.discard(stage.name)
+        run_started = time.perf_counter()
+        telemetry = self.telemetry if self.telemetry is not None else current_telemetry()
+        scope = activate(self.telemetry) if self.telemetry is not None else nullcontext()
+        tracer = telemetry.tracer
+        feature_cache = getattr(self.featurizer, "cache", None)
+        if feature_cache is not None:
+            telemetry.registry.register_probe("feature_cache", lambda: vars(feature_cache.stats()))
+        try:
+            with scope:
+                for stage in self.stages:
+                    key = self.stage_key(stage.name, keys)
+                    keys[stage.name] = key
+                    started = time.perf_counter()
+                    span_index = len(tracer)
                     payload = None
-            if payload is not None:
-                report = StageReport(name=stage.name, key=key, status="restored", attempts=0)
-            else:
-                report = StageReport(name=stage.name, key=key, status="executed")
-                try:
-                    payload = self._execute_stage(stage, context, report, use_threads)
-                    missing = set(stage.provides) - set(payload)
-                    if missing:
-                        raise RuntimeError(f"stage payload missing artifacts {sorted(missing)}")
-                except BaseException as error:
-                    # keep the attempt/retry/fault record of the failed stage
+                    with tracer.span(stage.name, stage=stage.name):
+                        if self.checkpoints is not None and self.runtime.resume:
+                            payload = self.checkpoints.load(stage.name, key)
+                            if payload is not None and not set(stage.provides) <= set(payload):
+                                # e.g. a checkpoint written before a stage grew a new
+                                # artifact: treat as a miss, not a permanent failure
+                                logger.warning(
+                                    "checkpoint for '%s' lacks required artifacts; re-executing", stage.name
+                                )
+                                self.checkpoints.discard(stage.name)
+                                payload = None
+                        if payload is not None:
+                            report = StageReport(name=stage.name, key=key, status="restored", attempts=0)
+                        else:
+                            report = StageReport(name=stage.name, key=key, status="executed")
+                            try:
+                                payload = self._execute_stage(stage, context, report, use_threads)
+                                missing = set(stage.provides) - set(payload)
+                                if missing:
+                                    raise RuntimeError(f"stage payload missing artifacts {sorted(missing)}")
+                            except BaseException as error:
+                                # keep the attempt/retry/fault record of the failed stage
+                                report.duration_s = time.perf_counter() - started
+                                report.extra["phases"] = phase_totals_of(tracer.records()[span_index:])
+                                self.report.stages.append(report)
+                                if isinstance(error, Exception):
+                                    raise StageFailure(stage.name, error) from error
+                                raise  # KeyboardInterrupt and friends pass through untouched
+                            self.execution_counts[stage.name] += 1
+                            if self.checkpoints is not None:
+                                try:
+                                    self.checkpoints.save(stage.name, key, payload)
+                                except Exception as error:
+                                    # Checkpointing is a durability optimization: a full
+                                    # disk or unpicklable payload must not kill a stage
+                                    # that just executed successfully — the campaign
+                                    # continues, this stage simply won't restore.
+                                    logger.warning("could not checkpoint stage '%s': %s", stage.name, error)
+                        context.update(payload)
                     report.duration_s = time.perf_counter() - started
+                    # Table 7 phase attribution from the spans this stage's
+                    # window emitted (Timer sections in the scoring jobs, the
+                    # streamed screen's coordinator sections, ...)
+                    report.extra["phases"] = phase_totals_of(tracer.records()[span_index:])
                     self.report.stages.append(report)
-                    if isinstance(error, Exception):
-                        raise StageFailure(stage.name, error) from error
-                    raise  # KeyboardInterrupt and friends pass through untouched
-                self.execution_counts[stage.name] += 1
-                if self.checkpoints is not None:
-                    try:
-                        self.checkpoints.save(stage.name, key, payload)
-                    except Exception as error:
-                        # Checkpointing is a durability optimization: a full
-                        # disk or unpicklable payload must not kill a stage
-                        # that just executed successfully — the campaign
-                        # continues, this stage simply won't restore.
-                        logger.warning("could not checkpoint stage '%s': %s", stage.name, error)
-            context.update(payload)
-            report.duration_s = time.perf_counter() - started
-            self.report.stages.append(report)
-            logger.info("stage %-14s %s in %.3fs", stage.name, report.status, report.duration_s)
-            if stop_after == stage.name:
-                return None
-        return self._assemble_result(context)
+                    logger.info("stage %-14s %s in %.3fs", stage.name, report.status, report.duration_s)
+                    if stop_after == stage.name:
+                        return None
+            return self._assemble_result(context)
+        finally:
+            self._run_duration = time.perf_counter() - run_started
+            self._run_telemetry = telemetry
+
+    # ------------------------------------------------------------------ #
+    # run record
+    # ------------------------------------------------------------------ #
+    def run_record(self) -> dict:
+        """Run-record document of the most recent :meth:`run`.
+
+        One schema-valid document (see :mod:`repro.telemetry.runrecord`):
+        per-stage wall time split into the paper's Table 7 phases
+        (startup / evaluation / output, measured from real spans, with
+        the unattributed remainder in ``other`` so the four always sum
+        to the stage's duration), restore/attempt/retry accounting, the
+        metrics-registry snapshot and the aggregated fault history.
+        Works after successful, stopped (``stop_after``) and failed runs.
+        """
+        if self._run_duration is None:
+            raise RuntimeError("run_record() requires a prior run()")
+        telemetry = self._run_telemetry or Telemetry.disabled()
+        stages = []
+        for report in self.report.stages:
+            extra = {k: v for k, v in report.extra.items() if k != "phases"}
+            stages.append(
+                stage_entry(
+                    report.name,
+                    report.status,
+                    report.duration_s,
+                    report.extra.get("phases"),
+                    attempts=report.attempts,
+                    retries=report.retries,
+                    faults=report.faults,
+                    extra=extra or None,
+                )
+            )
+        faults = [fault for report in self.report.stages for fault in report.faults]
+        return build_run_record(
+            "campaign",
+            duration_s=self._run_duration,
+            stages=stages,
+            metrics=telemetry.snapshot(),
+            trace={"num_spans": len(telemetry.tracer)},
+            faults=faults,
+        )
 
     # ------------------------------------------------------------------ #
     # content keys
@@ -493,7 +568,12 @@ class CampaignRuntime:
         if self.executor_name == "serving":
             from repro.serving import ScoringService
 
-            service = ScoringService(model=self.model, featurizer=self.featurizer, config=cfg.serving).start()
+            service = ScoringService(
+                model=self.model,
+                featurizer=self.featurizer,
+                config=cfg.serving,
+                registry=current_telemetry().registry,
+            ).start()
         try:
             engine = StreamingScreen(
                 self.model,

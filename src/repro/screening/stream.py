@@ -57,6 +57,7 @@ import math
 import threading
 import time
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -74,8 +75,12 @@ from repro.nn.module import Module
 from repro.runtime.checkpoint import CheckpointStore, checkpoint_key
 from repro.runtime.executor import RetryPolicy
 from repro.screening.partition import shard_bounds
+from repro.telemetry import Telemetry, activate, build_run_record, stage_entry, worker_occupancy
+from repro.telemetry import current as current_telemetry
+from repro.telemetry.exact import ExactSum
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
+from repro.utils.timer import Timer
 
 logger = get_logger("repro.screening.stream")
 
@@ -83,39 +88,11 @@ logger = get_logger("repro.screening.stream")
 # --------------------------------------------------------------------------- #
 # Exact accumulation
 # --------------------------------------------------------------------------- #
-class ExactSum:
-    """Streaming exact float sum (Shewchuk expansion).
-
-    Partial sums are maintained without rounding error, so the final
-    :attr:`value` is the correctly-rounded sum of everything added — the
-    same float for *any* accumulation order.  This is what makes the
-    streaming statistics bit-identical across shard sizes and worker
-    counts without buffering the stream.
-    """
-
-    __slots__ = ("_partials",)
-
-    def __init__(self) -> None:
-        self._partials: list[float] = []
-
-    def add(self, value: float) -> None:
-        x = float(value)
-        partials = self._partials
-        i = 0
-        for y in partials:
-            if abs(x) < abs(y):
-                x, y = y, x
-            hi = x + y
-            lo = y - (hi - x)
-            if lo:
-                partials[i] = lo
-                i += 1
-            x = hi
-        partials[i:] = [x]
-
-    @property
-    def value(self) -> float:
-        return math.fsum(self._partials)
+# ``ExactSum`` (the Shewchuk-expansion exact float sum that makes the
+# streaming statistics order-invariant) now lives in
+# :mod:`repro.telemetry.exact` — the telemetry layer's mergeable
+# histograms need the same order-invariant totals and sit *below* this
+# module.  It stays importable from here for the streaming API's users.
 
 
 @dataclass
@@ -566,6 +543,16 @@ class StreamingScreen:
     fault_injector:
         Optional fault source; each shard attempt passes through one
         draw exactly like the runtime's :class:`JobRunner` jobs.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle.  When given,
+        it is *activated* for the duration of :meth:`run`, so spans from
+        nested components (docking kernels, featurization, the serving
+        path) land on the same tracer; when omitted, the process-wide
+        active bundle is used (the zero-overhead null default unless an
+        orchestrator activated one).  Telemetry is observation-only: it
+        is deliberately not part of :class:`StreamConfig` and never
+        enters shard checkpoint keys, and the golden suite pins the
+        results bit-identical with it on or off.
     """
 
     def __init__(
@@ -580,6 +567,7 @@ class StreamingScreen:
         checkpoint_salt: str = "",
         fault_injector: FaultInjector | None = None,
         prep_factory: Callable[[], CDT2Ligand] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if model is None and service is None:
             raise ValueError("provide a model, a service, or both")
@@ -592,6 +580,8 @@ class StreamingScreen:
         self.checkpoint_salt = str(checkpoint_salt)
         self.faults = fault_injector or FaultInjector(enabled=False)
         self.prep_factory = prep_factory or CDT2Ligand
+        self.telemetry = telemetry
+        self._last_run: dict | None = None
         self.receptors = CDT1Receptor().run(list(self.sites.values()))
         self._site_map = {name: receptor.site for name, receptor in self.receptors.items()}
 
@@ -799,10 +789,27 @@ class StreamingScreen:
             seed-sized decks.
         """
         cfg = self.config
+        telemetry = self.telemetry if self.telemetry is not None else current_telemetry()
+        scope = activate(self.telemetry) if self.telemetry is not None else nullcontext()
+        tracer = telemetry.tracer
+        registry = telemetry.registry
+        shard_seconds = registry.histogram("stream.shard_s", min_value=1e-6, max_value=1e5, growth=1.05)
+        count_executed = registry.counter("stream.shards_executed")
+        count_restored = registry.counter("stream.shards_restored")
+        count_failed = registry.counter("stream.shards_failed")
+        count_retries = registry.counter("stream.shard_retries")
+        count_compounds = registry.counter("stream.compounds")
+        timer = Timer(tracer=tracer, stage="streamed_screen")
         started = time.perf_counter()
+        scope.__enter__()
+        run_span = tracer.span("streaming-screen", stage="streamed_screen")
+        run_span.__enter__()
+        startup_section = timer.section("startup")
+        startup_section.__enter__()
         total = self._source_len(source)
         bounds = shard_bounds(total, cfg.shard_size)
         limit = len(bounds) if stop_after_shards is None else min(max(int(stop_after_shards), 0), len(bounds))
+        run_span.set("num_shards", limit)
 
         top_k = {name: TopKSelector(cfg.top_k, nan_policy=cfg.nan_policy) for name in self.sites}
         stats = {name: StreamingStats() for name in self.sites}
@@ -835,6 +842,8 @@ class StreamingScreen:
         admission = threading.Condition()
         frontier = 0  # shards folded so far == the index the fold loop needs next
         stop_flag = threading.Event()
+        # per-worker busy seconds; each slot is written by one thread only
+        busy = [0.0] * cfg.workers
 
         def worker(worker_index: int) -> None:
             while not stop_flag.is_set():
@@ -847,12 +856,19 @@ class StreamingScreen:
                 if stop_flag.is_set():
                     return
                 start, stop = bounds[shard]
+                shard_started = time.perf_counter()
                 try:
-                    outcome = self._run_shard(shard, start, stop, source)
+                    with tracer.span(self.shard_name(shard), stage="streamed_screen", parent=run_span) as span:
+                        outcome = self._run_shard(shard, start, stop, source)
+                        span.set("compounds", outcome.num_compounds)
+                        span.set("attempts", outcome.attempts)
                 except BaseException as error:  # defensive: _run_shard catches job errors
                     outcome = ShardOutcome(
                         index=shard, start=start, stop=stop, status="failed", error=str(error)
                     )
+                shard_elapsed = time.perf_counter() - shard_started
+                busy[worker_index] += shard_elapsed
+                shard_seconds.observe(shard_elapsed)
                 with cond:
                     outcomes[shard] = outcome
                     cond.notify_all()
@@ -872,17 +888,21 @@ class StreamingScreen:
             # metric is comparable to every other stage's (a terminal
             # fault that exhausts the budget is not a retry)
             total_retries += max(outcome.attempts - 1, 0)
+            count_retries.inc(max(outcome.attempts - 1, 0))
             fault_log.extend(outcome.faults)
             if outcome.status == "failed":
                 failed += 1
+                count_failed.inc()
                 failed_shards.append(outcome.index)
                 if cfg.on_shard_failure == "raise":
                     raise StreamShardError(outcome.index, RuntimeError(outcome.error), outcome.attempts)
                 return
             if outcome.status == "restored":
                 restored += 1
+                count_restored.inc()
             else:
                 executed += 1
+                count_executed.inc()
                 if self.checkpoints is not None:
                     key = outcome.checkpoint_key or self.shard_key(
                         outcome.index, self._shard_compound_ids(source, outcome.start, outcome.stop)
@@ -900,6 +920,7 @@ class StreamingScreen:
                     except Exception as error:
                         logger.warning("could not checkpoint shard %d: %s", outcome.index, error)
             num_compounds += outcome.num_compounds
+            count_compounds.inc(outcome.num_compounds)
             for site_name, pairs in outcome.best_scores.items():
                 for compound_id, score in pairs:
                     top_k[site_name].offer(compound_id, score)
@@ -918,16 +939,23 @@ class StreamingScreen:
             for thread in threads:
                 thread.join()
 
+        startup_section.__exit__(None, None, None)
         try:
             for next_index in range(limit):
-                with cond:
-                    while next_index not in outcomes:
-                        cond.wait()
-                    outcome = outcomes.pop(next_index)
-                with admission:
-                    frontier = next_index + 1
-                    admission.notify_all()
-                fold(outcome)
+                # the coordinating thread's own Table 7 accounting:
+                # "evaluation" while it waits on shard computation,
+                # "output" while it folds/checkpoints — disjoint sections,
+                # so the phases sum to at most the stage's wall time
+                with timer.section("evaluation"):
+                    with cond:
+                        while next_index not in outcomes:
+                            cond.wait()
+                        outcome = outcomes.pop(next_index)
+                    with admission:
+                        frontier = next_index + 1
+                        admission.notify_all()
+                with timer.section("output"):
+                    fold(outcome)
         except BaseException as error:
             # durability on the failure path: let in-flight shards finish,
             # then fold (and checkpoint) every completed shard before
@@ -951,8 +979,11 @@ class StreamingScreen:
             raise
         finally:
             shutdown_workers()
+            run_span.__exit__(None, None, None)
+            scope.__exit__(None, None, None)
 
-        return StreamingScreenResult(
+        duration = time.perf_counter() - started
+        result = StreamingScreenResult(
             top_k={name: selector.ranking() for name, selector in top_k.items()},
             stats=stats,
             num_compounds=num_compounds,
@@ -965,8 +996,56 @@ class StreamingScreen:
             total_attempts=total_attempts,
             total_retries=total_retries,
             faults=fault_log,
-            duration_s=time.perf_counter() - started,
+            duration_s=duration,
             aborted=limit < len(bounds),
             predictions=predictions,
             records=records,
+        )
+        registry.gauge("stream.steals").add(queues.steals)
+        self._last_run = {
+            "timer": timer.as_dict(),
+            "busy": {index: busy[index] for index in range(len(threads))},
+            "steals": queues.steals,
+            "result": result,
+            "duration_s": duration,
+            "telemetry": telemetry,
+        }
+        return result
+
+    # ------------------------------------------------------------------ #
+    # run record
+    # ------------------------------------------------------------------ #
+    def run_record(self) -> dict:
+        """Run-record document of the most recent completed :meth:`run`.
+
+        One schema-valid document (see :mod:`repro.telemetry.runrecord`)
+        carrying the streamed stage's startup/evaluation/output phase
+        breakdown (Table 7, measured on the coordinating thread — the
+        phases sum exactly to the stage's wall time), per-worker
+        occupancy and steal counts, the metrics-registry snapshot and
+        the fold's retry/fault history.
+        """
+        if self._last_run is None:
+            raise RuntimeError("run_record() requires a completed run()")
+        info = self._last_run
+        result: StreamingScreenResult = info["result"]
+        telemetry: Telemetry = info["telemetry"]
+        stage = stage_entry(
+            "streamed_screen",
+            "executed",
+            info["duration_s"],
+            info["timer"],
+            attempts=result.total_attempts,
+            retries=result.total_retries,
+            faults=result.faults,
+            extra=result.summary(),
+        )
+        return build_run_record(
+            "streaming_screen",
+            duration_s=info["duration_s"],
+            stages=[stage],
+            metrics=telemetry.snapshot(),
+            workers=worker_occupancy(info["busy"], info["duration_s"], steals=info["steals"]),
+            trace={"num_spans": len(telemetry.tracer)},
+            faults=result.faults,
         )

@@ -32,6 +32,8 @@ from repro.serving.cache import H5CacheAdapter, ResultCache
 from repro.serving.metrics import MetricsSnapshot, ServingMetrics
 from repro.serving.requests import ScoreRequest, ScoreResponse
 from repro.serving.workers import ModuleBackend, ReplicaPool, ScoringBackend
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import current as current_telemetry
 from repro.utils.logging import get_logger
 
 logger = get_logger("repro.serving")
@@ -123,6 +125,7 @@ class ScoringService:
         config: ServingConfig | None = None,
         backend: ScoringBackend | None = None,
         cache_store: H5CacheAdapter | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if (model is None) == (backend is None):
             raise ValueError("provide exactly one of model= or backend=")
@@ -146,7 +149,12 @@ class ScoringService:
             max_batch_size=cfg.max_batch_size, max_wait_s=cfg.max_wait_s, capacity=cfg.queue_capacity
         )
         self.cache = ResultCache(cfg.cache_capacity)
-        self.metrics = ServingMetrics(max_batch_size=cfg.max_batch_size)
+        self.metrics = ServingMetrics(max_batch_size=cfg.max_batch_size, registry=registry)
+        feature_cache = getattr(featurizer, "cache", None)
+        if feature_cache is not None:
+            self.metrics.registry.register_probe(
+                "serving.feature_cache", lambda: vars(feature_cache.stats())
+            )
         self.model_fp = base.fingerprint()
         self._dispatcher: threading.Thread | None = None
         self._inflight = 0
@@ -399,8 +407,11 @@ class ScoringService:
     def _execute(self, replica: int, backend: ScoringBackend, batch: MicroBatch) -> None:
         items: list[_WorkItem] = batch.items
         try:
-            collated = collate_request_batch([w.sample for w in items])
-            scores = backend.score_batch(collated)
+            with current_telemetry().span("serving-batch") as span:
+                span.set("replica", replica)
+                span.set("batch_size", len(items))
+                collated = collate_request_batch([w.sample for w in items])
+                scores = backend.score_batch(collated)
             if scores.shape[0] != len(items):
                 raise RuntimeError(
                     f"backend returned {scores.shape[0]} scores for {len(items)} requests"

@@ -1,0 +1,55 @@
+"""Exact streaming float accumulation (Shewchuk expansions).
+
+Home of :class:`ExactSum`, which previously lived in
+:mod:`repro.screening.stream` (which now re-exports it).  Telemetry is
+the natural bottom-of-the-stack owner: the mergeable streaming histogram
+uses it so that summed totals — and therefore means — are *order
+invariant*, which is what makes histogram merges exactly associative and
+commutative in every observable.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ExactSum"]
+
+
+class ExactSum:
+    """Streaming exact float sum (Shewchuk expansion).
+
+    Partial sums are maintained without rounding error, so the final
+    :attr:`value` is the correctly-rounded sum of everything added — the
+    same float for *any* accumulation order.  This is what makes the
+    streaming statistics bit-identical across shard sizes and worker
+    counts without buffering the stream.
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self) -> None:
+        self._partials: list[float] = []
+
+    def add(self, value: float) -> None:
+        x = float(value)
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another exact sum in; the result is order-invariant."""
+        for partial in other._partials:
+            self.add(partial)
+
+    @property
+    def value(self) -> float:
+        return math.fsum(self._partials)

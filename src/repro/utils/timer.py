@@ -2,15 +2,26 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.telemetry.spans import PHASES
+
 
 class Timer:
-    """A simple accumulating stopwatch.
+    """A thread-safe accumulating stopwatch, routed through the tracer.
 
     ``Timer`` is used by the screening job to break run time into the
     startup / evaluation / output phases reported in the paper's Table 7.
+    Sections may enter/exit concurrently from worker-pool threads — the
+    per-section totals accumulate under a lock, so no update is lost.
+
+    Each ``section()`` also opens a span on the active tracer
+    (:func:`repro.telemetry.current`, or an explicit ``tracer=``), with
+    the section name doubling as its Table 7 phase when it is one of
+    ``startup`` / ``evaluation`` / ``output`` — so existing Timer call
+    sites show up in exported traces without any further wiring.
 
     Examples
     --------
@@ -21,8 +32,18 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None, stage: str | None = None) -> None:
         self.sections: dict[str, float] = {}
+        self.stage = stage
+        self._tracer = tracer
+        self._lock = threading.Lock()
+
+    def _resolve_tracer(self):
+        if self._tracer is not None:
+            return self._tracer
+        from repro.telemetry import current
+
+        return current().tracer
 
     def section(self, name: str) -> "_TimerSection":
         """Return a context manager accumulating elapsed time under ``name``."""
@@ -30,15 +51,18 @@ class Timer:
 
     def add(self, name: str, seconds: float) -> None:
         """Add ``seconds`` to section ``name`` (creating it if needed)."""
-        self.sections[name] = self.sections.get(name, 0.0) + float(seconds)
+        with self._lock:
+            self.sections[name] = self.sections.get(name, 0.0) + float(seconds)
 
     def total(self) -> float:
         """Total seconds accumulated across all sections."""
-        return float(sum(self.sections.values()))
+        with self._lock:
+            return float(sum(self.sections.values()))
 
     def as_dict(self) -> dict[str, float]:
         """Copy of the per-section totals."""
-        return dict(self.sections)
+        with self._lock:
+            return dict(self.sections)
 
 
 class _TimerSection:
@@ -46,13 +70,24 @@ class _TimerSection:
         self._timer = timer
         self._name = name
         self._start = 0.0
+        self._span = None
 
     def __enter__(self) -> "_TimerSection":
+        tracer = self._timer._resolve_tracer()
+        self._span = tracer.span(
+            self._name,
+            phase=self._name if self._name in PHASES else None,
+            stage=self._timer.stage,
+        )
+        self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
         self._timer.add(self._name, time.perf_counter() - self._start)
+        if self._span is not None:
+            self._span.__exit__(*exc)
+            self._span = None
 
 
 @dataclass
