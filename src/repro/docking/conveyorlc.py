@@ -29,6 +29,7 @@ from repro.chem.molecule import Molecule
 from repro.chem.prep import LigandPrepPipeline, PreparedLigand
 from repro.chem.protein import BindingSite
 from repro.docking.engine import dock_many, validate_engine
+from repro.parallel import validate_backend
 from repro.docking.mmgbsa import MMGBSARescorer
 from repro.docking.vina import VinaScorer
 from repro.utils.rng import ensure_rng
@@ -167,7 +168,9 @@ class CDT3Docking:
     ``engine`` selects the batched lockstep docker (default) or the scalar
     golden reference — the two are bit-identical, so the choice affects
     throughput only; ``max_workers`` bounds the per-site compound pool of
-    :func:`repro.docking.engine.dock_many`.
+    :func:`repro.docking.engine.dock_many` and ``backend`` picks its
+    thread or process execution (also bit-identical; see
+    :mod:`repro.parallel`).
     """
 
     def __init__(
@@ -179,11 +182,13 @@ class CDT3Docking:
         seed: int = 0,
         engine: str = "batched",
         max_workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         if max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.scorer = scorer or VinaScorer()
         self.engine = validate_engine(engine)
+        self.backend = validate_backend(backend)
         self.num_poses = int(num_poses)
         self.monte_carlo_steps = int(monte_carlo_steps)
         self.restarts = int(restarts)
@@ -219,6 +224,7 @@ class CDT3Docking:
                 references=site_references,
                 engine=self.engine,
                 max_workers=self.max_workers,
+                backend=self.backend,
             )
             for compound_id, poses in results.items():
                 for pose in poses:

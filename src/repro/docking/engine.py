@@ -39,6 +39,7 @@ from repro.docking.poses import (
     molecule_with_coordinates,
     perturbed_coords,
 )
+from repro.parallel import ProcessTaskPool, isolated_registry, validate_backend
 from repro.telemetry import current as current_telemetry
 from repro.utils.rng import derive_seed
 
@@ -222,6 +223,38 @@ def make_docker(engine: str, scorer, **kwargs) -> PoseGenerator:
     return cls(scorer, **kwargs)
 
 
+class _DockManyPayload:
+    """Shipped once to every ``dock_many`` worker process.
+
+    Carries the site, scorer and docking parameters; per-task dispatch is
+    one ``(compound_id, molecule, reference)`` tuple (molecules here are
+    already materialized by the caller — a few KB each — so a descriptor
+    protocol would save nothing).  Per-compound seeds are derived inside
+    the worker exactly as the thread path derives them, so poses are
+    bit-identical across backends and pool widths.
+    """
+
+    def __init__(self, site: BindingSite, scorer, seed: int, site_name: str, engine: str, docker_kwargs: dict) -> None:
+        self.site = site
+        self.scorer = scorer
+        self.seed = seed
+        self.site_name = site_name
+        self.engine = engine
+        self.docker_kwargs = docker_kwargs
+
+    def run_task(self, task: tuple[str, Molecule, Molecule | None]) -> tuple[list[DockedPose], dict]:
+        compound_id, molecule, reference = task
+        with isolated_registry() as registry:
+            docker = make_docker(
+                self.engine,
+                self.scorer,
+                seed=derive_seed(self.seed, "dock", self.site_name, compound_id),
+                **self.docker_kwargs,
+            )
+            poses = docker.dock(self.site, molecule, complex_id=compound_id, reference=reference)
+        return poses, registry.export_mergeable()
+
+
 def dock_many(
     site: BindingSite,
     ligands: Sequence[tuple[str, Molecule]],
@@ -237,6 +270,7 @@ def dock_many(
     references: Mapping[str, Molecule] | None = None,
     engine: str = "batched",
     max_workers: int = 1,
+    backend: str = "thread",
 ) -> dict[str, list[DockedPose]]:
     """Dock many ligands into one site, optionally on a bounded worker pool.
 
@@ -257,28 +291,54 @@ def dock_many(
     references:
         Optional per-compound crystal poses for RMSD bookkeeping.
     max_workers:
-        Thread-pool bound; ``1`` docks inline.  Compounds are
+        Worker-pool bound; ``1`` docks inline.  Compounds are
         independent, so any pool width produces identical results.
+    backend:
+        ``"thread"`` pools on a :class:`ThreadPoolExecutor` (GIL-shared);
+        ``"process"`` pools on a :class:`~repro.parallel.ProcessTaskPool`
+        — the site/scorer payload ships once per worker process, and the
+        workers' kernel counters merge back into the active registry.
+        Per-compound seeding is identical, so (like ``engine``) the
+        backend never changes a pose bit and never enters checkpoint keys.
     """
+    validate_backend(backend)
     site_name = site.name if site_name is None else site_name
     references = references or {}
+    docker_kwargs = dict(
+        num_poses=num_poses,
+        monte_carlo_steps=monte_carlo_steps,
+        restarts=restarts,
+        temperature=temperature,
+        min_pose_separation=min_pose_separation,
+    )
 
     def dock_one(compound_id: str, molecule: Molecule) -> list[DockedPose]:
         docker = make_docker(
             engine,
             scorer,
-            num_poses=num_poses,
-            monte_carlo_steps=monte_carlo_steps,
-            restarts=restarts,
-            temperature=temperature,
-            min_pose_separation=min_pose_separation,
             seed=derive_seed(seed, "dock", site_name, compound_id),
+            **docker_kwargs,
         )
         return docker.dock(site, molecule, complex_id=compound_id, reference=references.get(compound_id))
 
     with current_telemetry().span("dock-many") as span:
         span.set("ligands", len(ligands))
         span.set("max_workers", max_workers)
+        span.set("process_backend", float(backend == "process"))
+        if backend == "process" and max_workers > 1 and len(ligands) > 1:
+            payload = _DockManyPayload(site, scorer, seed, site_name, engine, docker_kwargs)
+            registry = current_telemetry().registry
+            results: dict[str, list[DockedPose]] = {}
+            with ProcessTaskPool(payload, max_workers=min(max_workers, len(ligands))) as pool:
+                futures = [
+                    (compound_id, pool.submit((compound_id, molecule, references.get(compound_id))))
+                    for compound_id, molecule in ligands
+                ]
+                for compound_id, future in futures:
+                    poses, worker_metrics = future.result()
+                    registry.absorb(worker_metrics)
+                    results[compound_id] = poses
+            return results
         if max_workers > 1 and len(ligands) > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
                 futures = [(compound_id, pool.submit(dock_one, compound_id, molecule)) for compound_id, molecule in ligands]

@@ -125,6 +125,19 @@ class FeatureCache:
         self._evictions = 0
 
     # ------------------------------------------------------------------ #
+    # pickling: featurizers (and the caches inside them) ship to worker
+    # processes as part of a process-backend payload.  Only the cache
+    # *configuration* travels — entries are per-process working state
+    # (full voxel grids; shipping them would dwarf the payload) and the
+    # hit/miss ledger describes the parent's traffic, not the child's.
+    # Each worker process warms its own cache.
+    def __getstate__(self) -> dict:
+        return {"capacity": self.capacity, "max_bytes": self.max_bytes}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(capacity=state["capacity"], max_bytes=state["max_bytes"])
+
+    # ------------------------------------------------------------------ #
     def get(self, key: str) -> FeatureEntry | None:
         """Return the cached entry for ``key`` (refreshing recency) or None."""
         with self._lock:

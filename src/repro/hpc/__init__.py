@@ -24,7 +24,7 @@ offline, so this sub-package provides:
 
 from repro.hpc.cluster import GPUSpec, NodeAllocation, NodeSpec, SimulatedCluster, LASSEN_NODE
 from repro.hpc.scheduler import Job, JobScheduler, JobState, SchedulerConfig
-from repro.hpc.mpi import LocalCommunicator, run_spmd
+from repro.hpc.mpi import CollectiveError, LocalCommunicator, run_spmd
 from repro.hpc.horovod import HorovodContext
 from repro.hpc.faults import FaultEvent, FaultInjector
 from repro.hpc.performance import FusionThroughputModel, PerformanceEstimate, ScorerCostModel
@@ -40,6 +40,7 @@ __all__ = [
     "JobState",
     "JobScheduler",
     "SchedulerConfig",
+    "CollectiveError",
     "LocalCommunicator",
     "run_spmd",
     "HorovodContext",

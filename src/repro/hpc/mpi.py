@@ -18,6 +18,30 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
 
+class CollectiveError(RuntimeError):
+    """A collective's combine step failed; raised on *every* rank.
+
+    MPI semantics demand that all ranks of a failed collective observe
+    the failure — one rank raising while the others block at the barrier
+    is a deadlock, not an error report.  ``tag`` names the collective,
+    ``__cause__`` carries the original combine exception.
+    """
+
+    def __init__(self, tag: str, cause: BaseException) -> None:
+        super().__init__(f"collective '{tag}' failed: {cause}")
+        self.tag = tag
+
+
+class _CollectiveFailure:
+    """Result slot marker: the combine for this rendezvous raised."""
+
+    __slots__ = ("tag", "error")
+
+    def __init__(self, tag: str, error: BaseException) -> None:
+        self.tag = tag
+        self.error = error
+
+
 class LocalCommunicator:
     """A communicator shared by the ranks of one in-process SPMD job.
 
@@ -65,10 +89,25 @@ class LocalCommunicator:
         self._queue_for(source, dest, tag).put(obj)
 
     def recv(self, source: int, dest: int, tag: int = 0, timeout: float | None = 30.0) -> Any:
-        """Receive the next object sent from ``source`` to ``dest``."""
+        """Receive the next object sent from ``source`` to ``dest``.
+
+        Raises
+        ------
+        TimeoutError
+            When no message arrives within ``timeout`` seconds — naming
+            the endpoints and tag, instead of the bare ``queue.Empty``
+            the underlying queue raises (which says nothing about *which*
+            receive starved).
+        """
         self._check_rank(source)
         self._check_rank(dest)
-        return self._queue_for(source, dest, tag).get(timeout=timeout)
+        try:
+            return self._queue_for(source, dest, tag).get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"recv timed out: no message from rank {source} to rank {dest} "
+                f"(tag={tag}) within {timeout}s"
+            ) from None
 
     # ------------------------------------------------------------------ #
     # Collectives
@@ -78,20 +117,35 @@ class LocalCommunicator:
         self._barrier.wait(timeout=self.barrier_timeout)
 
     def _collective(self, name: str, rank: int, value: Any, combine: Callable[[dict[int, Any]], Any]) -> Any:
-        """Generic rendezvous collective: gather every rank's value, combine once."""
+        """Generic rendezvous collective: gather every rank's value, combine once.
+
+        A raising ``combine`` must not poison the communicator: the
+        bucket is cleared either way (a stale bucket would make the next
+        same-tag collective see ``len(bucket) == size`` prematurely), the
+        failure is recorded as the rendezvous *result* so every rank
+        walks through both barriers normally (keeping the barrier
+        reusable instead of timing it out broken), and every rank then
+        raises the same descriptive :class:`CollectiveError`.
+        """
         with self._lock:
             bucket = self._collective_buffer.setdefault(name, {})
             bucket[rank] = value
             ready = len(bucket) == self._size
             if ready:
-                result = combine(dict(bucket))
+                try:
+                    result = combine(dict(bucket))
+                except Exception as error:
+                    result = _CollectiveFailure(name, error)
+                finally:
+                    self._collective_buffer[name] = {}
                 self._collective_results[name] = result
-                self._collective_buffer[name] = {}
                 generation = self._generation.get(name, 0) + 1
                 self._generation[name] = generation
         self._barrier.wait(timeout=self.barrier_timeout)
         result = self._collective_results[name]
         self._barrier.wait(timeout=self.barrier_timeout)
+        if isinstance(result, _CollectiveFailure):
+            raise CollectiveError(result.tag, result.error) from result.error
         return result
 
     def allgather(self, rank: int, value: Any, tag: str = "allgather") -> list[Any]:

@@ -1,0 +1,31 @@
+"""repro.parallel — the process-parallel execution backend.
+
+Every parallel path in the repo historically ran on GIL-bound thread
+pools; this package provides the process alternative behind one
+primitive, :class:`ProcessTaskPool` (``spawn`` context, heavy payload
+shipped once per worker, light task descriptors per dispatch).  Call
+sites select it with a ``backend="thread" | "process"`` knob:
+
+* ``StreamConfig(backend=...)`` — streaming shard execution
+  (:mod:`repro.screening.stream`);
+* ``dock_many(..., backend=...)`` — per-compound docking pools
+  (:mod:`repro.docking.engine`);
+* ``ServingConfig(backend=...)`` — per-process model replicas
+  (:class:`repro.serving.workers.ProcessModelBackend`).
+
+Results are bit-identical across backends (the streaming golden suite
+pins it), so like ``docking_engine`` the choice never enters checkpoint
+or shard keys.  Worker-process metrics flow back to the coordinator via
+:func:`isolated_registry` + :meth:`~repro.telemetry.MetricsRegistry.absorb`.
+"""
+
+from repro.parallel.metrics import isolated_registry
+from repro.parallel.pool import PARALLEL_BACKENDS, ProcessTaskPool, WorkerPayload, validate_backend
+
+__all__ = [
+    "PARALLEL_BACKENDS",
+    "ProcessTaskPool",
+    "WorkerPayload",
+    "isolated_registry",
+    "validate_backend",
+]

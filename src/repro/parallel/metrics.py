@@ -1,0 +1,41 @@
+"""Worker-process telemetry capture for the process backends.
+
+A worker process cannot write to the coordinator's
+:class:`~repro.telemetry.MetricsRegistry` — the registry is a plain
+in-process object.  Instead, every process-backend payload runs its task
+under :func:`isolated_registry`, which activates a fresh telemetry
+bundle (null tracer, empty registry) for the duration of the task, and
+ships the registry's mergeable export back alongside the result.  The
+coordinator folds the export into its own registry with
+:meth:`~repro.telemetry.MetricsRegistry.absorb` — integer counter adds
+plus exact :meth:`~repro.telemetry.StreamingHistogram.merge`, so the
+final metrics are bit-identical however the work was split across
+processes (or not split at all: the thread backend's metrics land on the
+coordinator registry directly and agree by the same order-invariance).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.telemetry import Telemetry, activate
+
+__all__ = ["isolated_registry"]
+
+
+@contextmanager
+def isolated_registry():
+    """Activate a fresh disabled-tracer bundle; yields its registry.
+
+    Inside the block, every ``current()``-reading instrumentation point
+    (docking kernels, featurization, serving batches) accumulates into
+    the yielded registry instead of the process default, so the caller
+    can export exactly what *this task* recorded:
+
+        with isolated_registry() as registry:
+            outcome = run_the_task()
+        return outcome, registry.export_mergeable()
+    """
+    bundle = Telemetry.disabled()
+    with activate(bundle):
+        yield bundle.registry

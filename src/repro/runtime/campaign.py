@@ -477,6 +477,7 @@ class CampaignRuntime:
             seed=derive_seed(cfg.seed, "docking"),
             engine=cfg.docking_engine,
             max_workers=cfg.docking_workers,
+            backend=cfg.backend,
         )
         database = docking.run(context["receptors"], context["ligands"])
         return {"database": database}
@@ -553,6 +554,7 @@ class CampaignRuntime:
         stream_config = StreamConfig(
             shard_size=cfg.shard_size,
             workers=self.runtime.max_workers,
+            backend=cfg.backend,
             top_k=cfg.resolved_top_k(),
             fusion_batch_size=cfg.fusion_batch_size,
             poses_per_compound=cfg.poses_per_compound,

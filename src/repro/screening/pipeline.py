@@ -49,6 +49,14 @@ class CampaignConfig:
     docking_engine: str = "batched"
     #: bound on the per-site compound pool of ``dock_many``
     docking_workers: int = 1
+    #: execution backend of the campaign's parallel stages: ``"thread"``
+    #: (historical default) or ``"process"`` (spawned worker processes,
+    #: :mod:`repro.parallel`).  Flows into ``dock_many`` pools and the
+    #: streaming engine's shard workers.  Results are bit-identical
+    #: either way, so — exactly like ``docking_engine`` and
+    #: ``docking_workers`` — the backend never enters checkpoint keys:
+    #: retuning it keeps every stage and shard checkpoint warm.
+    backend: str = "thread"
     mmgbsa_subset_fraction: float = 1.0
     poses_per_job: int = 200
     nodes_per_job: int = 4
@@ -95,6 +103,11 @@ class CampaignConfig:
             raise ValueError("shard_size must be positive")
         if self.fusion_batch_size < 0:
             raise ValueError("fusion_batch_size must be non-negative")
+        if self.use_serving and self.backend == "process":
+            # the streaming engine scores through the serving service's
+            # in-process replica pool; a shard worker in another process
+            # cannot reach it (see repro.screening.stream)
+            raise ValueError("streaming campaigns cannot combine use_serving with backend='process'")
         if self.mmgbsa_subset_fraction != 1.0:
             # the subset draw is a single global RNG choice over every
             # compound — inherently unstreamable without materializing

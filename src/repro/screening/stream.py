@@ -72,6 +72,7 @@ from repro.featurize.engine import FeaturePipeline
 from repro.featurize.pipeline import ComplexFeaturizer
 from repro.hpc.faults import FaultEvent, FaultInjector
 from repro.nn.module import Module
+from repro.parallel import ProcessTaskPool, isolated_registry, validate_backend
 from repro.runtime.checkpoint import CheckpointStore, checkpoint_key
 from repro.runtime.executor import RetryPolicy
 from repro.screening.partition import shard_bounds
@@ -364,6 +365,14 @@ class StreamConfig:
 
     shard_size: int = 64
     workers: int = 1
+    #: worker execution backend: ``"thread"`` runs shard bodies on the
+    #: work-stealing thread pool (the historical default); ``"process"``
+    #: keeps the same threads as dispatchers but executes each shard body
+    #: in a spawned worker process (:mod:`repro.parallel`), breaking the
+    #: GIL.  Like ``shard_size``/``workers``/``docking_engine`` this is a
+    #: pure throughput knob — results are bit-identical (golden suite),
+    #: so it never enters checkpoint/shard keys.
+    backend: str = "thread"
     top_k: int = 50
     fusion_batch_size: int = 0
     poses_per_compound: int = 4
@@ -397,6 +406,7 @@ class StreamConfig:
         if self.on_shard_failure not in ("raise", "skip"):
             raise ValueError(f"unknown on_shard_failure policy '{self.on_shard_failure}'")
         validate_engine(self.docking_engine)
+        validate_backend(self.backend)
 
 
 @dataclass
@@ -509,6 +519,35 @@ class _WorkStealingQueues:
 
 
 # --------------------------------------------------------------------------- #
+# Process-backend shard payload
+# --------------------------------------------------------------------------- #
+class _ShardWorkerPayload:
+    """Shipped once to every spawned shard worker (``backend="process"``).
+
+    Carries the engine (with coordinator-only state stripped — see
+    :meth:`StreamingScreen.__getstate__`) and the compound source, so
+    per-shard dispatch is a bare ``(index, start, stop)`` descriptor:
+    molecules are regenerated *inside* the worker via the source's pure
+    per-index protocol (``generate_range`` for a
+    :class:`~repro.datasets.libraries.StreamingLibrary`), never pickled
+    per task.  Each task runs under an isolated telemetry registry whose
+    mergeable export travels back with the outcome, so the coordinator's
+    metrics (docking kernel counters, cache ledgers, histograms) match
+    the thread backend's exactly.
+    """
+
+    def __init__(self, engine: "StreamingScreen", source: Any) -> None:
+        self.engine = engine
+        self.source = source
+
+    def run_task(self, task: tuple[int, int, int]) -> tuple[ShardOutcome, dict]:
+        index, start, stop = task
+        with isolated_registry() as registry:
+            outcome = self.engine._execute_shard(index, start, stop, self.source)
+        return outcome, registry.export_mergeable()
+
+
+# --------------------------------------------------------------------------- #
 # The streaming engine
 # --------------------------------------------------------------------------- #
 class StreamingScreen:
@@ -571,10 +610,18 @@ class StreamingScreen:
     ) -> None:
         if model is None and service is None:
             raise ValueError("provide a model, a service, or both")
+        config = config or StreamConfig()
+        if service is not None and config.backend == "process":
+            raise ValueError(
+                "backend='process' cannot score through a ScoringService: worker "
+                "processes cannot reach the coordinator's service threads — use "
+                "backend='thread' with a service, or drop the service and let each "
+                "worker process score with its own model copy"
+            )
         self.model = model
         self.featurizer = featurizer
         self.sites = dict(sorted(sites.items()))
-        self.config = config or StreamConfig()
+        self.config = config
         self.service = service
         self.checkpoints = checkpoints
         self.checkpoint_salt = str(checkpoint_salt)
@@ -582,8 +629,29 @@ class StreamingScreen:
         self.prep_factory = prep_factory or CDT2Ligand
         self.telemetry = telemetry
         self._last_run: dict | None = None
+        self._shard_pool: ProcessTaskPool | None = None
         self.receptors = CDT1Receptor().run(list(self.sites.values()))
         self._site_map = {name: receptor.site for name, receptor in self.receptors.items()}
+
+    # ------------------------------------------------------------------ #
+    # pickling (process backend): the engine travels to shard workers
+    # once, inside the pool payload.  Coordinator-only state — the
+    # serving route, checkpoint store, fault injector, telemetry bundle
+    # and the pool itself — stays behind: checkpoint restore, retries and
+    # fault draws run in the coordinator's dispatcher threads either way,
+    # which is exactly what keeps the two backends bit-identical.
+    # ------------------------------------------------------------------ #
+    _COORDINATOR_ONLY = ("service", "checkpoints", "faults", "telemetry", "_last_run", "_shard_pool")
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for name in self._COORDINATOR_ONLY:
+            state[name] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.faults = FaultInjector(enabled=False)
 
     # ------------------------------------------------------------------ #
     # source access
@@ -702,6 +770,24 @@ class StreamingScreen:
             num_compounds=len(molecules),
         )
 
+    def _dispatch_shard(self, index: int, start: int, stop: int, source: Any) -> ShardOutcome:
+        """Run one shard attempt on the configured backend.
+
+        Thread backend: execute inline on the calling worker thread.
+        Process backend: submit the ``(index, start, stop)`` descriptor to
+        the shard pool, then fold the worker process's exported metrics
+        into the active registry — exact counter adds and histogram
+        merges, so telemetry is backend-invariant too.  Exceptions raised
+        in the worker process surface here exactly like inline ones and
+        flow into :meth:`_run_shard`'s failure handling.
+        """
+        pool = self._shard_pool
+        if pool is None:
+            return self._execute_shard(index, start, stop, source)
+        outcome, worker_metrics = pool.run((index, start, stop))
+        current_telemetry().registry.absorb(worker_metrics)
+        return outcome
+
     def _shard_compound_ids(self, source: Any, start: int, stop: int) -> tuple[str, ...]:
         """Compound ids of one shard, without materializing molecules when
         the source can name compounds by index (``StreamingLibrary``)."""
@@ -736,7 +822,7 @@ class StreamingScreen:
             fault = self.faults.check(self.shard_name(index), 1, attempt=attempt)
             if fault is None:
                 try:
-                    outcome = self._execute_shard(index, start, stop, source)
+                    outcome = self._dispatch_shard(index, start, stop, source)
                 except Exception as error:
                     outcome = ShardOutcome(
                         index=index, start=start, stop=stop, status="failed",
@@ -810,6 +896,17 @@ class StreamingScreen:
         bounds = shard_bounds(total, cfg.shard_size)
         limit = len(bounds) if stop_after_shards is None else min(max(int(stop_after_shards), 0), len(bounds))
         run_span.set("num_shards", limit)
+
+        if cfg.backend == "process" and limit > 0:
+            # one payload (stripped engine + source) shipped per worker
+            # process; capped at the shard count so tiny runs do not pay
+            # for processes that would never receive a task
+            self._shard_pool = ProcessTaskPool(
+                _ShardWorkerPayload(self, source),
+                max_workers=min(cfg.workers, limit),
+            )
+            self._shard_pool.warm()
+            run_span.set("process_workers", self._shard_pool.max_workers)
 
         top_k = {name: TopKSelector(cfg.top_k, nan_policy=cfg.nan_policy) for name in self.sites}
         stats = {name: StreamingStats() for name in self.sites}
@@ -979,6 +1076,9 @@ class StreamingScreen:
             raise
         finally:
             shutdown_workers()
+            if self._shard_pool is not None:
+                self._shard_pool.close()
+                self._shard_pool = None
             run_span.__exit__(None, None, None)
             scope.__exit__(None, None, None)
 

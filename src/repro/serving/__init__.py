@@ -19,7 +19,7 @@ from repro.serving.requests import (
     site_digest,
 )
 from repro.serving.service import Overloaded, PendingScore, ScoringService, ServingConfig
-from repro.serving.workers import ModuleBackend, ReplicaPool, ScoringBackend
+from repro.serving.workers import ModuleBackend, ProcessModelBackend, ReplicaPool, ScoringBackend
 
 __all__ = [
     "MicroBatch",
@@ -42,6 +42,7 @@ __all__ = [
     "ScoringService",
     "ServingConfig",
     "ModuleBackend",
+    "ProcessModelBackend",
     "ReplicaPool",
     "ScoringBackend",
 ]

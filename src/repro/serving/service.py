@@ -31,7 +31,8 @@ from repro.serving.batcher import MicroBatch, MicroBatcher, QueueClosed, collate
 from repro.serving.cache import H5CacheAdapter, ResultCache
 from repro.serving.metrics import MetricsSnapshot, ServingMetrics
 from repro.serving.requests import ScoreRequest, ScoreResponse
-from repro.serving.workers import ModuleBackend, ReplicaPool, ScoringBackend
+from repro.parallel import validate_backend
+from repro.serving.workers import ModuleBackend, ProcessModelBackend, ReplicaPool, ScoringBackend
 from repro.telemetry import MetricsRegistry
 from repro.telemetry import current as current_telemetry
 from repro.utils.logging import get_logger
@@ -58,6 +59,13 @@ class ServingConfig:
     dispatch: str = "least_loaded"
     #: deep-copy the model per replica instead of sharing one instance
     replicate_weights: bool = False
+    #: replica execution backend: ``"thread"`` scores on the replica's
+    #: worker thread (GIL-shared), ``"process"`` gives each replica a
+    #: spawned worker process with its own weights copy (shipped once at
+    #: startup).  Scores are bit-identical either way — the model, the
+    #: collate and the batch protocol are unchanged — so the choice never
+    #: enters result-cache or checkpoint keys.
+    backend: str = "thread"
 
 
 class PendingScore:
@@ -133,16 +141,30 @@ class ScoringService:
             raise ValueError("a ComplexFeaturizer is required")
         self.config = config or ServingConfig()
         cfg = self.config
-        base = backend if backend is not None else ModuleBackend(model)
-        if cfg.replicate_weights:
-            if not isinstance(base, ModuleBackend):
+        validate_backend(cfg.backend)
+        if cfg.backend == "process":
+            # process replicas always own their weights (a process cannot
+            # share a live module), so replicate_weights is implied; a
+            # caller-provided ScoringBackend cannot be shipped to worker
+            # processes — only the raw model can
+            if model is None:
                 raise ValueError(
-                    "replicate_weights=True requires a ModuleBackend; custom backends "
-                    "must manage their own per-replica isolation"
+                    "backend='process' requires model=; a custom ScoringBackend "
+                    "cannot be shipped to worker processes"
                 )
-            backends = base.replicate(cfg.num_replicas)
+            base = ProcessModelBackend(model)
+            backends: list[ScoringBackend] = base.replicate(cfg.num_replicas)
         else:
-            backends = [base] * cfg.num_replicas
+            base = backend if backend is not None else ModuleBackend(model)
+            if cfg.replicate_weights:
+                if not isinstance(base, ModuleBackend):
+                    raise ValueError(
+                        "replicate_weights=True requires a ModuleBackend; custom backends "
+                        "must manage their own per-replica isolation"
+                    )
+                backends = base.replicate(cfg.num_replicas)
+            else:
+                backends = [base] * cfg.num_replicas
         self.featurizer = featurizer
         self.pool = ReplicaPool(backends, dispatch=cfg.dispatch)
         self.batcher = MicroBatcher(

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.nn.tensor import no_grad
+from repro.parallel import ProcessTaskPool
 from repro.serving.requests import model_fingerprint
 
 
@@ -66,6 +67,95 @@ class ModuleBackend:
         for index in range(copies):
             clone = ModuleBackend(copy.deepcopy(self.model), name=f"{self.name}#{index}")
             clone._fingerprint = self.fingerprint()
+            replicas.append(clone)
+        return replicas
+
+
+class _ModelScoringPayload:
+    """Shipped once to a replica's worker process: the model itself.
+
+    The wrapping :class:`ModuleBackend` is built lazily in the child on
+    first use (it is pure derived state), so the pickled payload carries
+    exactly the weights — shipped once at process startup, never again.
+    """
+
+    def __init__(self, model: Module, name: str) -> None:
+        self.model = model
+        self.name = name
+        self._backend: ModuleBackend | None = None
+
+    def __getstate__(self) -> dict:
+        return {"model": self.model, "name": self.name}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._backend = None
+
+    def run_task(self, batch: dict) -> np.ndarray:
+        if self._backend is None:
+            self._backend = ModuleBackend(self.model, name=self.name)
+        return self._backend.score_batch(batch)
+
+
+class ProcessModelBackend:
+    """A :class:`ScoringBackend` whose model lives in a dedicated process.
+
+    The thread-pool replicas of :class:`ReplicaPool` all contend for one
+    GIL; a ``ProcessModelBackend`` replica owns a spawned worker process
+    instead, so N replicas score on N cores.  Weights are shipped once at
+    startup (via the pool's one-time payload), per-batch traffic is the
+    collated NumPy batch out and the score vector back, and the
+    fingerprint is computed in the parent *before* shipping — identity
+    and cache keys are exactly :class:`ModuleBackend`'s.
+    """
+
+    def __init__(self, model: Module, name: str = "") -> None:
+        self.model = model
+        self.model.eval()
+        self.name = name or f"{type(model).__name__}@process"
+        self._fingerprint = model_fingerprint(model)
+        self._lock = threading.Lock()
+        self._pool: ProcessTaskPool | None = None
+
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    def start(self) -> None:
+        """Spawn the worker process and start shipping the weights.
+
+        Idempotent, and valid again after :meth:`close` — a restarted
+        replica pool gets a fresh process.  The warm-up is asynchronous:
+        process startup overlaps the rest of pool startup, and the first
+        ``score_batch`` simply queues behind it.
+        """
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessTaskPool(
+                    _ModelScoringPayload(self.model, self.name), max_workers=1
+                )
+                self._pool.warm()
+
+    def score_batch(self, batch: dict) -> np.ndarray:
+        self.start()
+        with self._lock:
+            pool = self._pool
+        if pool is None:  # pragma: no cover - closed between start and here
+            raise RuntimeError(f"backend '{self.name}' is closed")
+        scores = pool.run(batch)
+        return np.asarray(scores, dtype=np.float64).reshape(-1)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def replicate(self, copies: int) -> list["ProcessModelBackend"]:
+        """Replicas that each own a worker process (weights shipped per process)."""
+        replicas = []
+        for index in range(copies):
+            clone = ProcessModelBackend(self.model, name=f"{self.name}#{index}")
+            clone._fingerprint = self._fingerprint
             replicas.append(clone)
         return replicas
 
@@ -140,10 +230,12 @@ class ReplicaPool:
         if dispatch not in self.DISPATCH_POLICIES:
             raise ValueError(f"dispatch must be one of {self.DISPATCH_POLICIES}, got '{dispatch}'")
         self.dispatch = dispatch
-        self._replicas = [_Replica(i, b) for i, b in enumerate(backends)]
+        self._backends = list(backends)
+        self._replicas = [_Replica(i, b) for i, b in enumerate(self._backends)]
         self._rr_lock = threading.Lock()
         self._rr_next = 0
         self._started = False
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -151,19 +243,45 @@ class ReplicaPool:
         return len(self._replicas)
 
     def start(self) -> None:
+        """Start (or restart) the replica workers; idempotent while running.
+
+        Worker *threads* are single-use, so a pool restarted after
+        :meth:`close` gets fresh :class:`_Replica` objects — restarting
+        used to re-``start()`` the finished threads, which raises
+        ``RuntimeError: threads can only be started once`` and left the
+        replicas marked closed.  Per-replica batch counters restart from
+        zero with the fresh replicas.
+        """
         if self._started:
             return
+        if self._closed:
+            self._replicas = [_Replica(i, b) for i, b in enumerate(self._backends)]
+            self._closed = False
         self._started = True
         for replica in self._replicas:
+            start = getattr(replica.backend, "start", None)
+            if start is not None:
+                start()
             replica.thread.start()
 
     def close(self, wait: bool = True) -> None:
+        """Stop the workers (reopenable: a later :meth:`start` restarts).
+
+        Backends exposing their own lifecycle (``ProcessModelBackend``'s
+        worker process) are closed after their replica thread drains, and
+        restarted by the next :meth:`start`.
+        """
         for replica in self._replicas:
             replica.close()
         if wait and self._started:
             for replica in self._replicas:
                 replica.thread.join()
+        for replica in self._replicas:
+            close = getattr(replica.backend, "close", None)
+            if close is not None:
+                close()
         self._started = False
+        self._closed = True
 
     # ------------------------------------------------------------------ #
     def _pick(self) -> _Replica:
@@ -187,4 +305,11 @@ class ReplicaPool:
         return [r.load() for r in self._replicas]
 
     def completed_batches(self) -> list[int]:
-        return [r.completed_batches for r in self._replicas]
+        """Completed-batch count per replica, read under each replica's lock
+        (the counter is written under it; an unlocked read could surface a
+        torn in-between during the increment)."""
+        counts = []
+        for replica in self._replicas:
+            with replica.cond:
+                counts.append(replica.completed_batches)
+        return counts

@@ -209,3 +209,17 @@ class StreamingHistogram:
             self._sum = ExactSum()
             self._min = math.inf
             self._max = -math.inf
+
+    # ------------------------------------------------------------------ #
+    # pickling: histograms cross process boundaries (worker-process
+    # telemetry merges back into the coordinator's registry), and a lock
+    # cannot travel — the receiving process gets a fresh one
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = {k: v for k, v in self.__dict__.items() if k != "_lock"}
+            state["_counts"] = self._counts.copy()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -8,7 +8,7 @@ from repro.hpc.cluster import LASSEN_NODE, SimulatedCluster
 from repro.hpc.faults import FaultInjector
 from repro.hpc.h5store import H5Store
 from repro.hpc.horovod import HorovodContext
-from repro.hpc.mpi import LocalCommunicator, RankContext, run_spmd
+from repro.hpc.mpi import CollectiveError, LocalCommunicator, RankContext, run_spmd
 from repro.hpc.performance import FusionThroughputModel, ScorerCostModel
 from repro.hpc.scheduler import Job, JobScheduler, JobState, SchedulerConfig
 from repro.utils.timer import WallClock
@@ -131,6 +131,36 @@ class TestMPI:
 
         results = run_spmd(program, 2)
         assert results[1] == 7
+
+    def test_failed_collective_raises_on_every_rank_and_stays_usable(self):
+        """Regression: a raising combine used to leave its partial bucket in
+        the collective buffer (so the next same-tag collective saw a full
+        bucket prematurely) and raised on one rank only, deadlocking the
+        rest at the barrier until timeout.  Now every rank raises the same
+        descriptive CollectiveError and the communicator stays usable."""
+
+        def program(ctx: RankContext):
+            # wrong-length scatter list: combine raises on the closing rank
+            with pytest.raises(CollectiveError, match="collective 'scatter' failed") as info:
+                ctx.scatter([0, 1] if ctx.rank == 0 else None)
+            assert "one element per rank" in str(info.value.__cause__)
+            # same tag, correct payload: the cleared bucket and reusable
+            # barrier make the retry succeed
+            chunk = ctx.scatter([i * 10 for i in range(ctx.size)] if ctx.rank == 0 else None)
+            gathered = ctx.allgather(chunk)
+            return chunk, gathered
+
+        results = run_spmd(program, 3)
+        for rank, (chunk, gathered) in enumerate(results):
+            assert chunk == rank * 10
+            assert gathered == [0, 10, 20]
+
+    def test_recv_timeout_names_endpoints_and_tag(self):
+        """Regression: a starved recv used to surface as a bare queue.Empty
+        with no hint of which endpoint pair starved."""
+        comm = LocalCommunicator(2)
+        with pytest.raises(TimeoutError, match=r"rank 0 to rank 1 \(tag=5\) within 0.01s"):
+            comm.recv(source=0, dest=1, tag=5, timeout=0.01)
 
     def test_sequential_mode_without_collectives(self):
         results = run_spmd(lambda ctx: ctx.rank**2, 4, use_threads=False)

@@ -284,3 +284,117 @@ def test_campaign_routed_through_serving_matches_job_path(workbench):
     assert {s: [c.compound_id for c in v] for s, v in serving_campaign.selections.items()} == {
         s: [c.compound_id for c in v] for s, v in jobs_campaign.selections.items()
     }
+
+
+# --------------------------------------------------------------------- #
+# replica-pool lifecycle and the process scoring backend
+# --------------------------------------------------------------------- #
+class _CountingBackend:
+    """Minimal in-thread ScoringBackend for pool lifecycle tests."""
+
+    name = "counting"
+
+    def fingerprint(self) -> str:
+        return "counting"
+
+    def score_batch(self, batch) -> np.ndarray:
+        return np.zeros(1)
+
+
+class TestReplicaPoolLifecycle:
+    @staticmethod
+    def _drain(pool, expected, timeout=10.0):
+        deadline = time.time() + timeout
+        while sum(pool.completed_batches()) < expected:
+            assert time.time() < deadline, pool.completed_batches()
+            time.sleep(0.005)
+
+    def test_close_then_start_restarts_with_fresh_replicas(self):
+        """Regression: restart used to re-start() the finished worker
+        threads — ``RuntimeError: threads can only be started once`` —
+        and left every replica marked closed."""
+        from repro.serving import ReplicaPool
+
+        pool = ReplicaPool([_CountingBackend(), _CountingBackend()])
+        pool.start()
+        for _ in range(4):
+            pool.submit(lambda i, b: b.score_batch(None))
+        pool.close()
+        assert sum(pool.completed_batches()) == 4
+
+        pool.start()
+        # fresh replicas: per-replica counters restart from zero
+        assert pool.completed_batches() == [0, 0]
+        for _ in range(3):
+            pool.submit(lambda i, b: b.score_batch(None))
+        self._drain(pool, 3)
+        pool.close()
+        assert sum(pool.completed_batches()) == 3
+
+    def test_start_is_idempotent_while_running(self):
+        from repro.serving import ReplicaPool
+
+        pool = ReplicaPool([_CountingBackend()])
+        pool.start()
+        pool.start()
+        pool.submit(lambda i, b: None)
+        self._drain(pool, 1)
+        pool.close()
+
+    def test_submit_requires_start(self):
+        from repro.serving import ReplicaPool
+
+        pool = ReplicaPool([_CountingBackend()])
+        with pytest.raises(RuntimeError, match="before start"):
+            pool.submit(lambda i, b: None)
+        pool.start()
+        pool.close()
+        with pytest.raises(RuntimeError, match="before start"):
+            pool.submit(lambda i, b: None)
+
+
+class TestProcessModelBackend:
+    def test_scores_and_fingerprint_match_module_backend(self, workbench, traffic):
+        from repro.serving import ModuleBackend, ProcessModelBackend
+
+        samples = [workbench.featurizer.featurize(c) for c in traffic[:4]]
+        batch = collate_complexes(samples)
+        reference = ModuleBackend(workbench.coherent_fusion)
+        backend = ProcessModelBackend(workbench.coherent_fusion)
+        try:
+            assert backend.fingerprint() == reference.fingerprint()
+            scores = backend.score_batch(batch)
+            # close + rescore: the next call spawns a fresh worker process
+            backend.close()
+            again = backend.score_batch(batch)
+        finally:
+            backend.close()
+        direct = reference.score_batch(batch)
+        assert np.array_equal(scores, direct)
+        assert np.array_equal(again, direct)
+
+    def test_service_process_backend_bit_identical_to_thread(self, workbench, traffic):
+        kwargs = dict(max_batch_size=4, num_replicas=2, queue_capacity=64)
+        with ScoringService(
+            model=workbench.coherent_fusion, featurizer=workbench.featurizer,
+            config=ServingConfig(**kwargs),
+        ) as service:
+            by_thread = [r.score for r in service.score_many(traffic)]
+        with ScoringService(
+            model=workbench.coherent_fusion, featurizer=workbench.featurizer,
+            config=ServingConfig(backend="process", **kwargs),
+        ) as service:
+            by_process = [r.score for r in service.score_many(traffic)]
+            snapshot = service.snapshot()
+        # the bulk path partitions deterministically, so the process
+        # replicas see the exact batches the thread replicas saw
+        assert by_process == by_thread
+        assert snapshot.completed == snapshot.submitted
+        assert snapshot.failed == 0
+
+    def test_process_backend_requires_a_model(self, workbench):
+        with pytest.raises(ValueError, match="requires model="):
+            ScoringService(
+                backend=_CountingBackend(), featurizer=workbench.featurizer,
+                config=ServingConfig(backend="process"),
+            )
