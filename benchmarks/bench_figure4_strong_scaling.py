@@ -2,7 +2,9 @@
 
 Two series are regenerated: the analytic paper-scale curves (1/2/4/8 nodes
 at per-rank batch sizes 12/23/56) and a measured in-process scaling sweep
-of a small real job, demonstrating the same qualitative shape.
+that runs a real multi-rank ``DistributedTrainer`` (rank-0 parameter
+broadcast + exact gradient all-reduce) at 1/2/4 ranks, demonstrating the
+same qualitative shape on the training side.
 """
 
 from benchmarks.conftest import write_artifact
@@ -30,8 +32,10 @@ def test_figure4_measured_scaling(benchmark, workbench):
         rounds=1,
         iterations=1,
     )
-    lines = ["Measured in-process scaling (ranks vs seconds):"]
+    lines = ["Measured in-process DistributedTrainer scaling (ranks vs seconds):"]
     for batch, rows in sorted(result.measured.items()):
-        lines.append(render_series(f"batch {batch}", [r for r, _ in rows], [t for _, t in rows], "ranks", "seconds"))
+        lines.append(render_series(f"chunk {batch}", [r for r, _ in rows], [t for _, t in rows], "ranks", "seconds"))
     write_artifact("figure4_measured_scaling.txt", "\n".join(lines))
     assert result.measured
+    for rows in result.measured.values():
+        assert [r for r, _ in rows] == [1, 2, 4]

@@ -3,9 +3,11 @@
 The paper varies the number of nodes (1, 2, 4, 8) and the per-rank batch
 size (12, 23, 56) for a single 2-million-pose job.  Two artefacts are
 regenerated: the analytic paper-scale curves, and a measured in-process
-scaling experiment that runs a small real scoring job at increasing rank
-counts to demonstrate the same qualitative behaviour (diminishing returns
-with node count, mild batch-size sensitivity).
+scaling experiment that runs a real multi-rank
+:class:`~repro.models.train.DistributedTrainer` (Horovod-style rank-0
+broadcast + exact gradient all-reduce, as in the paper's training jobs)
+at increasing rank counts to demonstrate the same qualitative behaviour
+(diminishing returns with rank count, mild batch-size sensitivity).
 """
 
 from __future__ import annotations
@@ -13,9 +15,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.experiments.common import Workbench, run_campaign
+from repro.experiments.common import Workbench
 from repro.hpc.performance import FusionThroughputModel
-from repro.screening.job import FusionScoringJob
 from repro.screening.throughput import figure4_series
 
 
@@ -46,37 +47,44 @@ def run_figure4(
     workbench:
         Needed only when ``measure=True``.
     measure:
-        Also run small real scoring jobs at 4/8/16/32 ranks to measure
-        in-process scaling of the reproduction itself.
+        Also run a small real data-parallel training job at 1/2/4 ranks
+        to measure in-process scaling of the reproduction itself.  Each
+        cell trains an SG-CNN for one epoch with a
+        :class:`~repro.models.train.DistributedTrainer` at the given
+        per-rank chunk size; every cell reaches bit-identical final
+        weights (rank-count invariance), so the sweep varies only time.
+    measured_poses:
+        Number of training samples used by the measured sweep.
     """
     modelled = figure4_series(FusionThroughputModel(), node_counts=node_counts, batch_sizes=batch_sizes)
     measured: dict[int, list[tuple[int, float]]] = {}
     if measure:
         if workbench is None:
             raise ValueError("a workbench is required for measured scaling")
-        campaign = run_campaign(workbench)
-        site_name = campaign.database.sites()[0]
-        records = [r for r in campaign.database.records() if r.site_name == site_name][:measured_poses]
-        from repro.chem.protein import make_sarscov2_targets
-        from repro.utils.rng import derive_seed
+        from repro.models.config import SGCNNConfig
+        from repro.models.sgcnn import SGCNN
+        from repro.models.train import DistributedTrainer, DistributedTrainerConfig
 
-        sites = make_sarscov2_targets(seed=derive_seed(2020, "targets"))
+        samples = list(workbench.train_samples)
+        while len(samples) < measured_poses:
+            samples.extend(workbench.train_samples)
+        samples = samples[:measured_poses]
         for batch in (4, 8):
             rows = []
-            for nodes in (1, 2, 4):
-                job = FusionScoringJob(
-                    model=workbench.coherent_fusion,
-                    featurizer=workbench.featurizer,
-                    site=sites[site_name],
-                    records=records,
-                    num_nodes=nodes,
-                    gpus_per_node=2,
-                    batch_size_per_rank=batch,
-                    job_name=f"scaling-{nodes}n-{batch}b",
+            for ranks in (1, 2, 4):
+                model = SGCNN(SGCNNConfig.scaled_down(), seed=4)
+                config = DistributedTrainerConfig(
+                    epochs=1,
+                    chunk_size=batch,
+                    chunks_per_step=4,
+                    ranks=ranks,
+                    backend="thread",
+                    seed=2020,
                 )
+                trainer = DistributedTrainer(model, samples, config=config)
                 start = time.perf_counter()
-                job.run(use_threads=True)
-                rows.append((nodes * 2, time.perf_counter() - start))
+                trainer.fit()
+                rows.append((ranks, time.perf_counter() - start))
             measured[batch] = rows
     return StrongScalingResult(modelled=modelled, measured=measured, failure_rates=dict(PAPER_FAILURE_RATES))
 

@@ -10,7 +10,7 @@ import numpy as np
 from repro.chem.complexes import ProteinLigandComplex
 from repro.featurize.graph import GraphBuilder, GraphConfig
 from repro.featurize.voxelize import VoxelGridConfig, Voxelizer, random_axis_rotation
-from repro.nn.graph_layers import GraphBatch
+from repro.nn.graph_layers import FlatGraphBatch, GraphBatch
 from repro.utils.rng import ensure_rng
 
 
@@ -106,17 +106,24 @@ class ComplexFeaturizer:
         return [self.featurize(c, t, training=training) for c, t in zip(complexes, targets)]
 
 
-def collate_complexes(samples: Sequence[FeaturizedComplex]) -> dict:
+def collate_complexes(samples: Sequence[FeaturizedComplex], graph_layout: str = "dense") -> dict:
     """Collate featurized samples into a model-ready batch.
 
     Returns a dict with keys ``voxel`` (``(N, C, D, D, D)`` array),
-    ``graph`` (:class:`GraphBatch`), ``target`` (``(N,)`` array), and
-    ``ids`` / ``pose_ids`` lists.
+    ``graph`` (:class:`GraphBatch`, or :class:`FlatGraphBatch` when
+    ``graph_layout="flat"``), ``target`` (``(N,)`` array), and ``ids`` /
+    ``pose_ids`` lists.  The flat layout keeps adjacency as edge lists —
+    O(edges) message passing instead of O(total^2) — and is what the
+    vectorized trainer collates with; predictions agree with the dense
+    layout to solver precision but are not bit-identical to it.
     """
     if not samples:
         raise ValueError("cannot collate an empty batch")
+    if graph_layout not in ("dense", "flat"):
+        raise ValueError(f"unknown graph_layout '{graph_layout}'; expected 'dense' or 'flat'")
+    batch_cls = FlatGraphBatch if graph_layout == "flat" else GraphBatch
     voxels = np.stack([s.voxel for s in samples], axis=0)
-    graphs = GraphBatch.from_graphs([s.graph for s in samples])
+    graphs = batch_cls.from_graphs([s.graph for s in samples])
     targets = np.array([s.target for s in samples], dtype=np.float64)
     return {
         "voxel": voxels,

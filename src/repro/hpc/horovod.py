@@ -9,7 +9,9 @@ rank 0 so every rank scores with identical weights.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from repro.hpc.mpi import RankContext
 from repro.nn.module import Module
@@ -21,7 +23,11 @@ class HorovodContext:
     Parameters
     ----------
     rank_context:
-        The underlying :class:`repro.hpc.mpi.RankContext`.
+        The underlying :class:`repro.hpc.mpi.RankContext` — or any
+        object with the same collective surface (``rank``/``size``/
+        ``allgather``/``bcast``/``barrier``/``allreduce_exact``), such
+        as the process-backed star context :func:`repro.hpc.mpi.run_spmd_process`
+        hands its ranks.
     gpus_per_node:
         Number of GPUs per node; used to derive the local rank -> GPU
         binding exactly as ``hvd.local_rank()`` would.
@@ -69,4 +75,19 @@ class HorovodContext:
 
     def allreduce_mean(self, value: float, tag: str = "hvd-allreduce") -> float:
         """Average a scalar across ranks (gradient-averaging analogue)."""
-        return self._ctx.comm.allreduce_sum(self._ctx.rank, float(value), tag=tag) / self._ctx.size
+        gathered = self._ctx.allgather(float(value), tag=f"{tag}:sum")
+        return float(sum(gathered)) / self._ctx.size
+
+    def allreduce_exact(
+        self, arrays: Sequence[np.ndarray], tag: str = "hvd-allreduce-exact"
+    ) -> np.ndarray:
+        """Exactly sum per-rank partial arrays across ranks.
+
+        The vector all-reduce behind distributed gradient averaging:
+        every rank contributes its list of per-chunk gradient partials
+        and receives the correctly-rounded elementwise sum over all
+        partials — bit-identical regardless of how chunks were assigned
+        to ranks.  Division by the global batch count is the caller's
+        job (it must happen exactly once, after the exact sum).
+        """
+        return self._ctx.allreduce_exact(arrays, tag=tag)

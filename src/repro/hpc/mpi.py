@@ -12,10 +12,15 @@ program.
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.telemetry.exact import exact_vector_sum
 
 
 class CollectiveError(RuntimeError):
@@ -177,6 +182,31 @@ class LocalCommunicator:
         """Sum a scalar contribution across ranks."""
         return float(sum(self.allgather(rank, float(value), tag=f"{tag}:sum")))
 
+    def allreduce_exact(
+        self, rank: int, arrays: Sequence[np.ndarray], tag: str = "allreduce-exact"
+    ) -> np.ndarray:
+        """Exactly sum equally-shaped float arrays contributed by all ranks.
+
+        Each rank contributes zero or more partial arrays; every rank
+        receives the correctly-rounded elementwise sum over *all*
+        contributed arrays (Shewchuk expansion, see
+        :func:`repro.telemetry.exact_vector_sum`).  Because the result is
+        a function of the multiset of partials only, it is bit-identical
+        no matter how the partials are distributed across ranks — the
+        property the data-parallel trainer's gradient reduction relies
+        on.  Ranks must *not* pre-sum their own partials (that would
+        round twice); they send the raw partial arrays.
+        """
+        def combine(bucket: dict[int, Any]) -> np.ndarray:
+            partials = [
+                np.asarray(a, dtype=np.float64) for r in sorted(bucket) for a in bucket[r]
+            ]
+            if not partials:
+                raise ValueError("allreduce_exact requires at least one array across ranks")
+            return exact_vector_sum(partials)
+
+        return self._collective(f"{tag}:exact", rank, list(arrays), combine)
+
     # ------------------------------------------------------------------ #
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self._size:
@@ -208,6 +238,9 @@ class RankContext:
 
     def scatter(self, values=None, root: int = 0, tag: str = "scatter"):
         return self.comm.scatter(self.rank, values, root=root, tag=tag)
+
+    def allreduce_exact(self, arrays: Sequence[np.ndarray], tag: str = "allreduce-exact") -> np.ndarray:
+        return self.comm.allreduce_exact(self.rank, arrays, tag=tag)
 
     def send(self, obj, dest: int, tag: int = 0) -> None:
         self.comm.send(obj, source=self.rank, dest=dest, tag=tag)
@@ -242,3 +275,132 @@ def run_spmd(fn: Callable[[RankContext], Any], size: int, use_threads: bool = Tr
     with ThreadPoolExecutor(max_workers=size) as pool:
         futures = [pool.submit(fn, ctx) for ctx in contexts]
         return [f.result() for f in futures]
+
+
+# ---------------------------------------------------------------------- #
+# Process-backed SPMD
+# ---------------------------------------------------------------------- #
+class _StarRankContext:
+    """Per-rank collectives over manager queues, for process-backed SPMD.
+
+    Implements the same collective surface a :class:`RankContext` offers
+    (``rank``/``size``/``allgather``/``bcast``/``barrier``/
+    ``allreduce_exact``) so SPMD programs run unchanged on either
+    backend.  Topology is a star with rank 0 as combiner: every other
+    rank puts its contribution on the shared up-queue and blocks on its
+    private down-queue; rank 0 drains the up-queue, combines, and fans
+    the result out.  SPMD ordering makes the single shared up-queue
+    safe — a rank can only enter collective *k+1* after receiving the
+    result of *k*, which rank 0 only sends once it has every *k*
+    contribution, so the up-queue never mixes two collectives.
+    """
+
+    def __init__(self, rank: int, size: int, up: Any, down: Sequence[Any], timeout: float) -> None:
+        self.rank = int(rank)
+        self._size = int(size)
+        self._up = up
+        self._down = list(down)
+        self.timeout = float(timeout)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _get(self, source: Any, tag: str) -> Any:
+        try:
+            return source.get(timeout=self.timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"collective '{tag}' starved on rank {self.rank} after {self.timeout}s "
+                "(another rank likely failed before contributing)"
+            ) from None
+
+    def allgather(self, value: Any, tag: str = "allgather") -> list[Any]:
+        if self._size == 1:
+            return [value]
+        if self.rank == 0:
+            contributions: dict[int, Any] = {0: value}
+            while len(contributions) < self._size:
+                got_tag, src, payload = self._get(self._up, tag)
+                if got_tag != tag:  # pragma: no cover - SPMD ordering forbids this
+                    raise CollectiveError(tag, RuntimeError(f"interleaved collective '{got_tag}'"))
+                contributions[src] = payload
+            ordered = [contributions[r] for r in range(self._size)]
+            for r in range(1, self._size):
+                self._down[r].put((tag, ordered))
+            return ordered
+        self._up.put((tag, self.rank, value))
+        got_tag, ordered = self._get(self._down[self.rank], tag)
+        if got_tag != tag:  # pragma: no cover - SPMD ordering forbids this
+            raise CollectiveError(tag, RuntimeError(f"interleaved collective '{got_tag}'"))
+        return ordered
+
+    def barrier(self) -> None:
+        self.allgather(None, tag="barrier")
+
+    def bcast(self, value: Any = None, root: int = 0, tag: str = "bcast") -> Any:
+        return self.allgather(value if self.rank == root else None, tag=tag)[root]
+
+    def allreduce_exact(self, arrays: Sequence[np.ndarray], tag: str = "allreduce-exact") -> np.ndarray:
+        """Exact elementwise sum of every rank's partial arrays.
+
+        Unlike the thread backend there is no shared combine step: every
+        rank reduces the gathered partials itself.  The reduction is a
+        deterministic function of identical inputs, so all ranks still
+        agree bitwise.
+        """
+        gathered = self.allgather(list(arrays), tag=tag)
+        partials = [
+            np.asarray(a, dtype=np.float64) for per_rank in gathered for a in per_rank
+        ]
+        if not partials:
+            raise ValueError("allreduce_exact requires at least one array across ranks")
+        return exact_vector_sum(partials)
+
+
+class _SpmdWorkerPayload:
+    """Process-SPMD payload: the rank program plus its queue endpoints."""
+
+    def __init__(self, fn: Callable[[Any], Any], size: int, up: Any, down: Sequence[Any], timeout: float) -> None:
+        self.fn = fn
+        self.size = int(size)
+        self.up = up
+        self.down = list(down)
+        self.timeout = float(timeout)
+
+    def run_task(self, rank: int) -> Any:
+        ctx = _StarRankContext(rank, self.size, self.up, self.down, self.timeout)
+        return self.fn(ctx)
+
+
+def run_spmd_process(fn: Callable[[Any], Any], size: int, timeout: float = 300.0) -> list[Any]:
+    """Run ``fn(rank_context)`` on every rank, one spawned process per rank.
+
+    The process analogue of :func:`run_spmd`: ranks execute in separate
+    spawned interpreters (via :class:`repro.parallel.ProcessTaskPool`)
+    and communicate through a :class:`_StarRankContext` built on manager
+    queues.  ``fn`` must satisfy the pool's spawn-safety rules — a
+    module-level callable (or ``functools.partial`` of one) whose
+    captured arguments pickle.
+
+    Returns the per-rank return values ordered by rank, like
+    :func:`run_spmd`.  A rank failing before it contributes to a
+    collective surfaces as a :class:`TimeoutError` on the surviving
+    ranks rather than a hang.
+    """
+    if size <= 0:
+        raise ValueError("SPMD size must be positive")
+    # Imported lazily: repro.parallel is a sibling layer, not a dependency
+    # of the in-process communicator above.
+    from repro.parallel import ProcessTaskPool
+
+    with multiprocessing.Manager() as manager:
+        up = manager.Queue()
+        down = [manager.Queue() for _ in range(size)]
+        payload = _SpmdWorkerPayload(fn, size, up, down, timeout)
+        pool = ProcessTaskPool(payload, max_workers=size)
+        try:
+            futures = [pool.submit(rank) for rank in range(size)]
+            return [f.result(timeout=timeout) for f in futures]
+        finally:
+            pool.close()

@@ -10,7 +10,13 @@ from repro.models.config import (
 from repro.models.cnn3d import CNN3D
 from repro.models.sgcnn import SGCNN
 from repro.models.fusion import BatchScoringMixin, CoherentFusion, FusionNetwork, LateFusion, MidFusion
-from repro.models.train import TrainingHistory, Trainer, TrainerConfig
+from repro.models.train import (
+    DistributedTrainer,
+    DistributedTrainerConfig,
+    TrainingHistory,
+    Trainer,
+    TrainerConfig,
+)
 
 __all__ = [
     "CNN3DConfig",
@@ -25,6 +31,8 @@ __all__ = [
     "LateFusion",
     "MidFusion",
     "CoherentFusion",
+    "DistributedTrainer",
+    "DistributedTrainerConfig",
     "Trainer",
     "TrainerConfig",
     "TrainingHistory",

@@ -2,20 +2,40 @@
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Sequence
 
 import numpy as np
 
 from repro.featurize.pipeline import FeaturizedComplex, collate_complexes
+from repro.hpc.horovod import HorovodContext
+from repro.hpc.mpi import run_spmd, run_spmd_process
 from repro.models.fusion import FusionNetwork
 from repro.nn.dataloader import DataLoader, InMemoryDataset
+from repro.nn.layers import Dropout
 from repro.nn.loss import mse_loss
 from repro.nn.module import Module
 from repro.nn.optim import build_optimizer
 from repro.nn.tensor import Tensor, no_grad
+from repro.parallel import validate_backend
 from repro.telemetry import current as current_telemetry
 from repro.utils.rng import spawn_rng
+
+
+def _masked_mse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """MSE over finite targets only; NaN when no target is finite.
+
+    One NaN assay label must not poison a whole validation score (and
+    with it PB2's objective Q) — ``_calibrate_model`` already filters
+    non-finite targets, and validation follows the same semantics.
+    """
+    mask = np.isfinite(targets)
+    if not np.any(mask):
+        return float("nan")
+    diff = predictions[mask] - targets[mask]
+    return float(np.mean(diff**2))
 
 
 @dataclass
@@ -46,13 +66,25 @@ class TrainingHistory:
 
     @property
     def best_val_loss(self) -> float:
-        return float(min(self.val_losses)) if self.val_losses else float("nan")
+        """Lowest finite validation loss; NaN when no epoch produced one.
+
+        NaN epochs (no validation set, or an all-NaN val batch) are
+        ignored rather than propagated: ``min`` over a list containing
+        NaN is order-dependent, and ``np.argmin`` over all-NaN silently
+        answers 0.
+        """
+        losses = np.asarray(self.val_losses, dtype=np.float64)
+        if losses.size == 0 or not np.any(np.isfinite(losses)):
+            return float("nan")
+        return float(np.nanmin(losses))
 
     @property
     def best_epoch(self) -> int:
-        if not self.val_losses:
+        """Epoch index of the lowest finite validation loss, or -1 if none."""
+        losses = np.asarray(self.val_losses, dtype=np.float64)
+        if losses.size == 0 or not np.any(np.isfinite(losses)):
             return -1
-        return int(np.argmin(self.val_losses))
+        return int(np.nanargmin(losses))
 
 
 class Trainer:
@@ -169,7 +201,7 @@ class Trainer:
             return float("nan")
         predictions = self.predict(samples)
         targets = np.array([s.target for s in samples])
-        return float(np.mean((predictions - targets) ** 2))
+        return _masked_mse(predictions, targets)
 
     def predict(self, samples: Sequence[FeaturizedComplex], batch_size: int | None = None) -> np.ndarray:
         """Predict pK for ``samples`` without touching gradients."""
@@ -198,3 +230,228 @@ class Trainer:
             if log_fn is not None:
                 log_fn(epoch, train_loss, val_loss)
         return self.history
+
+
+# ---------------------------------------------------------------------- #
+# Data-parallel training
+# ---------------------------------------------------------------------- #
+@dataclass
+class DistributedTrainerConfig:
+    """Options of the data-parallel training loop.
+
+    The unit of parallelism is the *chunk*: each epoch's (optionally
+    shuffled) sample order is cut into ``chunk_size`` chunks, each
+    optimization step consumes ``chunks_per_step`` consecutive chunks
+    (a global batch of ``chunk_size * chunks_per_step`` samples), and
+    ranks process the step's chunks round-robin.  Chunk composition
+    derives only from ``seed`` and the epoch — never from the rank
+    count — and per-chunk gradients are reduced with an exact
+    order-invariant sum, which is what makes final weights bit-identical
+    for any ``ranks`` / ``backend`` combination.
+    """
+
+    epochs: int = 10
+    chunk_size: int = 8
+    chunks_per_step: int = 4
+    learning_rate: float = 1e-3
+    optimizer: str = "adam"
+    weight_decay: float = 0.0
+    shuffle: bool = True
+    grad_clip: float | None = 5.0
+    seed: int = 0
+    ranks: int = 1
+    backend: str = "thread"
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.chunks_per_step <= 0:
+            raise ValueError("chunks_per_step must be positive")
+        if self.ranks <= 0:
+            raise ValueError("ranks must be positive")
+        validate_backend(self.backend)
+
+
+@dataclass
+class _DistributedSpec:
+    """Everything one SPMD rank needs; pickled to process-backend workers."""
+
+    model: Module
+    train_samples: list[FeaturizedComplex]
+    val_samples: list[FeaturizedComplex]
+    config: DistributedTrainerConfig
+    epochs: int
+
+
+def _trainable_parameters_of(model: Module):
+    if isinstance(model, FusionNetwork):
+        return model.trainable_parameters()
+    return model.parameters()
+
+
+def _predict_flat(model: Module, samples: Sequence[FeaturizedComplex], batch_size: int) -> np.ndarray:
+    """Inference over ``samples`` using the flat graph layout."""
+    model.eval()
+    outputs = []
+    with no_grad():
+        for start in range(0, len(samples), batch_size):
+            batch = collate_complexes(samples[start : start + batch_size], graph_layout="flat")
+            outputs.append(model(batch).numpy().copy())
+    return np.concatenate(outputs) if outputs else np.array([])
+
+
+def _epoch_chunks(num_samples: int, config: DistributedTrainerConfig, epoch: int) -> list[np.ndarray]:
+    """The epoch's global chunk list — a function of seed and epoch only."""
+    if config.shuffle:
+        order = spawn_rng(config.seed, "shuffle", epoch).permutation(num_samples)
+    else:
+        order = np.arange(num_samples)
+    return [order[i : i + config.chunk_size] for i in range(0, num_samples, config.chunk_size)]
+
+
+def _distributed_train_worker(spec: _DistributedSpec, ctx) -> dict:
+    """The SPMD program run by every rank (module-level for spawn-safety).
+
+    Rank invariance rests on three rules enforced here:
+
+    1. chunk composition and per-chunk dropout streams are derived from
+       ``(seed, epoch, step, chunk)`` — never from the rank id;
+    2. ranks contribute their *raw* per-chunk gradient partials to the
+       exact all-reduce (pre-summing locally would round twice);
+    3. every quantity that feeds the next update (reduced gradient,
+       clip scale, step loss) is computed from the identical reduced
+       arrays on every rank.
+    """
+    cfg = spec.config
+    model = copy.deepcopy(spec.model)
+    hvd = HorovodContext(ctx)
+    hvd.broadcast_parameters(model, root_rank=0)
+    model.train()
+    dropouts = [m for m in model.modules() if isinstance(m, Dropout)]
+    optimizer = build_optimizer(
+        cfg.optimizer,
+        _trainable_parameters_of(model),
+        lr=cfg.learning_rate,
+        **({"weight_decay": cfg.weight_decay} if cfg.optimizer.lower() in ("adam", "adamw", "sgd") else {}),
+    )
+    pack = optimizer.fuse()
+    samples = spec.train_samples
+    train_losses: list[float] = []
+    val_losses: list[float] = []
+    for epoch in range(spec.epochs):
+        chunks = _epoch_chunks(len(samples), cfg, epoch)
+        step_losses: list[float] = []
+        for step_start in range(0, len(chunks), cfg.chunks_per_step):
+            step_chunks = chunks[step_start : step_start + cfg.chunks_per_step]
+            step_samples = int(sum(len(c) for c in step_chunks))
+            partials: list[np.ndarray] = []
+            model.train()
+            for pos in range(ctx.rank, len(step_chunks), ctx.size):
+                chunk = step_chunks[pos]
+                chunk_id = step_start + pos
+                for li, layer in enumerate(dropouts):
+                    layer._rng = spawn_rng(cfg.seed, "dropout", epoch, chunk_id, li)
+                batch = collate_complexes([samples[i] for i in chunk], graph_layout="flat")
+                prediction = model(batch)
+                residual = prediction - Tensor(batch["target"])
+                sse = (residual * residual).sum()
+                optimizer.zero_grad()
+                sse.backward()
+                partials.append(np.concatenate([pack.grad_vector(), [sse.item()]]))
+            reduced = hvd.allreduce_exact(partials, tag="grad-step")
+            grad = reduced[:-1] / step_samples
+            step_loss = float(reduced[-1] / step_samples)
+            if cfg.grad_clip is not None:
+                norm = float(np.sqrt(np.sum(grad * grad)))
+                if norm > cfg.grad_clip and norm > 0:
+                    grad = grad * (cfg.grad_clip / norm)
+            optimizer.step_fused(grad)
+            step_losses.append(step_loss)
+        train_losses.append(float(np.mean(step_losses)))
+        # All ranks hold identical weights, so validation is computed once
+        # on rank 0 and broadcast — cheaper, and identical by construction.
+        if ctx.rank == 0:
+            if spec.val_samples:
+                predictions = _predict_flat(model, spec.val_samples, cfg.chunk_size)
+                targets = np.array([s.target for s in spec.val_samples])
+                val_loss = _masked_mse(predictions, targets)
+            else:
+                val_loss = float("nan")
+        else:
+            val_loss = None
+        val_losses.append(float(ctx.bcast(val_loss, root=0, tag="val-loss")))
+    hvd.broadcast_parameters(model, root_rank=0)
+    return {
+        "state": model.state_dict(),
+        "weights_flat": pack.get_flat(),
+        "train_losses": train_losses,
+        "val_losses": val_losses,
+    }
+
+
+class DistributedTrainer:
+    """Horovod-style data-parallel trainer over the in-process SPMD backends.
+
+    Mirrors the paper's multi-rank training jobs: every rank holds a
+    model replica (broadcast from rank 0), processes its share of each
+    global batch, and applies the exactly-averaged gradient through the
+    fused optimizer path.  Final weights and per-epoch losses are
+    bit-identical for every rank count and for both execution backends
+    (``backend="thread" | "process"``); see ``docs/training.md`` for the
+    argument.  Models with batch normalization are excluded from the
+    bit-identity guarantee (running statistics are updated per replica).
+
+    After :meth:`fit`, ``self.model`` holds the final weights.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        train_samples: Sequence[FeaturizedComplex],
+        val_samples: Sequence[FeaturizedComplex] = (),
+        config: DistributedTrainerConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or DistributedTrainerConfig()
+        self.train_samples = list(train_samples)
+        self.val_samples = list(val_samples)
+        if not self.train_samples:
+            raise ValueError("trainer requires at least one training sample")
+        self.history = TrainingHistory()
+        self._calibrate_model()
+
+    def _calibrate_model(self) -> None:
+        targets = np.array([s.target for s in self.train_samples], dtype=np.float64)
+        targets = targets[np.isfinite(targets)]
+        if targets.size >= 2 and hasattr(self.model, "calibrate_output"):
+            self.model.calibrate_output(float(targets.mean()), float(targets.std()))
+
+    def fit(self, epochs: int | None = None) -> TrainingHistory:
+        """Train for ``epochs`` (default: config.epochs) across all ranks."""
+        epochs = int(epochs if epochs is not None else self.config.epochs)
+        spec = _DistributedSpec(
+            model=self.model,
+            train_samples=self.train_samples,
+            val_samples=self.val_samples,
+            config=self.config,
+            epochs=epochs,
+        )
+        worker = partial(_distributed_train_worker, spec)
+        with current_telemetry().span("distributed-fit") as span:
+            if self.config.backend == "process":
+                results = run_spmd_process(worker, self.config.ranks, timeout=self.config.timeout)
+            else:
+                results = run_spmd(worker, self.config.ranks)
+            span.add("ranks", self.config.ranks)
+            span.add("epochs", epochs)
+            span.add("samples", epochs * len(self.train_samples))
+        result = results[0]
+        self.model.load_state_dict(result["state"])
+        self.history.train_losses.extend(result["train_losses"])
+        self.history.val_losses.extend(result["val_losses"])
+        return self.history
+
+    def predict(self, samples: Sequence[FeaturizedComplex], batch_size: int | None = None) -> np.ndarray:
+        """Predict pK for ``samples`` with the (trained) model, flat layout."""
+        return _predict_flat(self.model, samples, batch_size or max(self.config.chunk_size, 8))

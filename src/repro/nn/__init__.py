@@ -25,8 +25,8 @@ from repro.nn.layers import (
     ReLU,
     Residual,
 )
-from repro.nn.graph_layers import GatedGraphConv, GraphGather, GraphBatch
-from repro.nn.optim import SGD, Adadelta, Adam, AdamW, Optimizer, RMSprop, build_optimizer
+from repro.nn.graph_layers import FlatEdges, FlatGraphBatch, GatedGraphConv, GraphGather, GraphBatch
+from repro.nn.optim import SGD, Adadelta, Adam, AdamW, Optimizer, ParameterPack, RMSprop, build_optimizer
 from repro.nn.loss import l1_loss, mse_loss
 from repro.nn.dataloader import DataLoader, Dataset, InMemoryDataset
 from repro.nn.checkpoint import load_checkpoint, save_checkpoint
@@ -52,8 +52,11 @@ __all__ = [
     "Residual",
     "GatedGraphConv",
     "GraphGather",
+    "FlatEdges",
+    "FlatGraphBatch",
     "GraphBatch",
     "Optimizer",
+    "ParameterPack",
     "SGD",
     "Adam",
     "AdamW",

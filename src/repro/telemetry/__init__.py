@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 
-from repro.telemetry.exact import ExactSum
+from repro.telemetry.exact import ExactSum, ExactVectorSum, exact_vector_sum
 from repro.telemetry.histogram import StreamingHistogram
 from repro.telemetry.registry import Counter, Gauge, MetricsRegistry
 from repro.telemetry.runrecord import (
@@ -48,6 +48,8 @@ from repro.telemetry.spans import NULL_TRACER, NullTracer, SpanRecord, Tracer
 __all__ = [
     "Counter",
     "ExactSum",
+    "ExactVectorSum",
+    "exact_vector_sum",
     "Gauge",
     "MetricsRegistry",
     "NULL_TRACER",

@@ -1,5 +1,7 @@
 """Tests for the 3D-CNN, SG-CNN, Fusion variants and the training loop."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -8,7 +10,7 @@ from repro.models.cnn3d import CNN3D
 from repro.models.config import CNN3DConfig, CoherentFusionConfig, MidFusionConfig, SGCNNConfig
 from repro.models.fusion import CoherentFusion, LateFusion, MidFusion
 from repro.models.sgcnn import SGCNN
-from repro.models.train import Trainer, TrainerConfig
+from repro.models.train import Trainer, TrainerConfig, TrainingHistory
 from repro.nn.tensor import Tensor, no_grad
 
 
@@ -196,3 +198,23 @@ class TestTrainer:
         trainer = Trainer(model, samples[:4], [], TrainerConfig(epochs=1, batch_size=2, learning_rate=10.0, grad_clip=1.0))
         trainer.fit()  # with an absurd learning rate, clipping keeps weights finite
         assert all(np.isfinite(p.data).all() for p in model.parameters())
+
+    def test_validate_masks_non_finite_targets(self, workbench, samples):
+        trainer = Trainer(workbench.sgcnn, samples, [], TrainerConfig(batch_size=4))
+        finite = trainer.validate(samples[:4])
+        poisoned = [replace(s, target=float("nan")) for s in samples[:2]] + list(samples[2:4])
+        assert trainer.validate(poisoned) == pytest.approx(trainer.validate(samples[2:4]))
+        assert np.isfinite(finite)
+        all_nan = [replace(s, target=float("nan")) for s in samples[:3]]
+        assert np.isnan(trainer.validate(all_nan))
+
+    def test_history_best_epoch_with_nan_val_losses(self):
+        history = TrainingHistory(train_losses=[1.0, 0.5], val_losses=[float("nan"), 0.7])
+        assert history.best_epoch == 1
+        assert history.best_val_loss == pytest.approx(0.7)
+        all_nan = TrainingHistory(train_losses=[1.0, 0.5], val_losses=[float("nan")] * 2)
+        assert all_nan.best_epoch == -1
+        assert np.isnan(all_nan.best_val_loss)
+        empty = TrainingHistory()
+        assert empty.best_epoch == -1
+        assert np.isnan(empty.best_val_loss)

@@ -153,3 +153,32 @@ class TestDataLoader:
         loader = DataLoader(InMemoryDataset(list(range(n))), batch_size=batch_size, shuffle=True, rng=0)
         seen = [x for batch in loader for x in batch]
         assert sorted(seen) == list(range(n))
+
+    def test_worker_exception_propagates_without_hanging(self):
+        def explode(samples):
+            raise ValueError("bad batch")
+
+        loader = DataLoader(InMemoryDataset(list(range(12))), batch_size=3, num_workers=2, collate_fn=explode)
+        with pytest.raises(ValueError, match="bad batch"):
+            list(loader)
+        # the pool must be torn down: a fresh iteration fails again instead of deadlocking
+        with pytest.raises(ValueError, match="bad batch"):
+            next(iter(loader))
+
+    def test_drop_last_smaller_than_batch_yields_nothing(self):
+        loader = DataLoader(InMemoryDataset(list(range(3))), batch_size=5, drop_last=True)
+        assert len(loader) == 0
+        assert list(loader) == []
+        prefetching = DataLoader(InMemoryDataset(list(range(3))), batch_size=5, drop_last=True, num_workers=2)
+        assert list(prefetching) == []
+
+    def test_shared_rng_shuffle_reproducible_across_epochs(self):
+        epochs = 3
+        orders = []
+        for _ in range(2):
+            loader = DataLoader(InMemoryDataset(list(range(15))), batch_size=4, shuffle=True, rng=21)
+            orders.append([[int(x) for batch in loader for x in batch] for _ in range(epochs)])
+        # same seed => the same sequence of per-epoch orders...
+        assert orders[0] == orders[1]
+        # ...while the shared rng advances, so consecutive epochs differ
+        assert orders[0][0] != orders[0][1]
