@@ -39,7 +39,12 @@ from repro.docking.poses import (
     molecule_with_coordinates,
     perturbed_coords,
 )
-from repro.parallel import ProcessTaskPool, isolated_registry, validate_backend
+from repro.parallel import (
+    SupervisedTaskPool,
+    TaskFailure,
+    isolated_registry,
+    validate_backend,
+)
 from repro.telemetry import current as current_telemetry
 from repro.utils.rng import derive_seed
 
@@ -329,13 +334,23 @@ def dock_many(
             payload = _DockManyPayload(site, scorer, seed, site_name, engine, docker_kwargs)
             registry = current_telemetry().registry
             results: dict[str, list[DockedPose]] = {}
-            with ProcessTaskPool(payload, max_workers=min(max_workers, len(ligands))) as pool:
+            # Supervised pool: a killed worker respawns and the affected
+            # compounds re-dock from their seeds, bit-identically.
+            supervised = SupervisedTaskPool(
+                payload,
+                max_workers=min(max_workers, len(ligands)),
+                registry=registry,
+            )
+            with supervised as pool:
                 futures = [
                     (compound_id, pool.submit((compound_id, molecule, references.get(compound_id))))
                     for compound_id, molecule in ligands
                 ]
                 for compound_id, future in futures:
-                    poses, worker_metrics = future.result()
+                    result = future.result()
+                    if isinstance(result, TaskFailure):
+                        raise result.to_exception()
+                    poses, worker_metrics = result
                     registry.absorb(worker_metrics)
                     results[compound_id] = poses
             return results

@@ -15,7 +15,7 @@ from __future__ import annotations
 import multiprocessing
 import queue
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, BrokenExecutor, ThreadPoolExecutor, wait
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -37,6 +37,46 @@ class CollectiveError(RuntimeError):
         self.tag = tag
 
 
+class RankLostError(RuntimeError):
+    """A rank's worker process died mid-step; raised on *every* rank.
+
+    The process analogue of :class:`CollectiveError`: when a spawned
+    rank is killed (OOM, preemption, a real SIGKILL), its peers must
+    not starve at the next collective until the communicator timeout —
+    the coordinator posts a loss sentinel into every queue so surviving
+    ranks fail fast with the same descriptive error the caller of
+    :func:`run_spmd_process` receives.
+    """
+
+    def __init__(self, rank: int, size: int, reason: str) -> None:
+        super().__init__(
+            f"rank {rank} of {size} was lost during an SPMD step: {reason}"
+        )
+        self.rank = int(rank)
+        self.size = int(size)
+        self.reason = str(reason)
+
+    def __reduce__(self):
+        return (RankLostError, (self.rank, self.size, self.reason))
+
+
+class _RankLoss:
+    """Queue sentinel fanned out by the coordinator when a rank dies."""
+
+    __slots__ = ("rank", "size", "reason")
+
+    def __init__(self, rank: int, size: int, reason: str) -> None:
+        self.rank = rank
+        self.size = size
+        self.reason = reason
+
+    def __getstate__(self):
+        return (self.rank, self.size, self.reason)
+
+    def __setstate__(self, state):
+        self.rank, self.size, self.reason = state
+
+
 class _CollectiveFailure:
     """Result slot marker: the combine for this rendezvous raised."""
 
@@ -54,12 +94,14 @@ class LocalCommunicator:
     collective; ``root`` arguments select the source/destination rank.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, barrier_timeout: float = 120.0) -> None:
         if size <= 0:
             raise ValueError("communicator size must be positive")
+        if barrier_timeout <= 0:
+            raise ValueError("barrier_timeout must be positive")
         self._size = int(size)
         self._barrier = threading.Barrier(self._size)
-        self.barrier_timeout = 120.0
+        self.barrier_timeout = float(barrier_timeout)
         self._lock = threading.Lock()
         self._collective_buffer: dict[str, dict[int, Any]] = {}
         self._collective_results: dict[str, Any] = {}
@@ -249,7 +291,12 @@ class RankContext:
         return self.comm.recv(source=source, dest=self.rank, tag=tag)
 
 
-def run_spmd(fn: Callable[[RankContext], Any], size: int, use_threads: bool = True) -> list[Any]:
+def run_spmd(
+    fn: Callable[[RankContext], Any],
+    size: int,
+    use_threads: bool = True,
+    barrier_timeout: float = 120.0,
+) -> list[Any]:
     """Run ``fn(rank_context)`` on every rank of a new communicator.
 
     Parameters
@@ -263,12 +310,17 @@ def run_spmd(fn: Callable[[RankContext], Any], size: int, use_threads: bool = Tr
         when the program uses collectives). When ``False`` and the
         program performs no collective communication, ranks run
         sequentially, which is easier to debug.
+    barrier_timeout:
+        Seconds a rank waits at a barrier/collective before giving up —
+        short in tests (fail fast on a deadlocked program), raised for
+        long campaign steps.  The process backend's equivalent is
+        :func:`run_spmd_process`'s ``timeout``.
 
     Returns
     -------
     list of the per-rank return values, ordered by rank.
     """
-    comm = LocalCommunicator(size)
+    comm = LocalCommunicator(size, barrier_timeout=barrier_timeout)
     contexts = [RankContext(comm, rank) for rank in range(size)]
     if not use_threads:
         return [fn(ctx) for ctx in contexts]
@@ -308,12 +360,18 @@ class _StarRankContext:
 
     def _get(self, source: Any, tag: str) -> Any:
         try:
-            return source.get(timeout=self.timeout)
+            item = source.get(timeout=self.timeout)
         except queue.Empty:
             raise TimeoutError(
                 f"collective '{tag}' starved on rank {self.rank} after {self.timeout}s "
                 "(another rank likely failed before contributing)"
             ) from None
+        if isinstance(item, _RankLoss):
+            # The coordinator observed a peer die and poisoned every
+            # queue: fail this collective on every surviving rank now
+            # instead of starving until the timeout above.
+            raise RankLostError(item.rank, item.size, item.reason)
+        return item
 
     def allgather(self, value: Any, tag: str = "allgather") -> list[Any]:
         if self._size == 1:
@@ -384,9 +442,12 @@ def run_spmd_process(fn: Callable[[Any], Any], size: int, timeout: float = 300.0
     captured arguments pickle.
 
     Returns the per-rank return values ordered by rank, like
-    :func:`run_spmd`.  A rank failing before it contributes to a
-    collective surfaces as a :class:`TimeoutError` on the surviving
-    ranks rather than a hang.
+    :func:`run_spmd`.  A rank dying mid-step (killed worker process) or
+    raising fails the whole step with a descriptive
+    :class:`RankLostError`: the coordinator poisons every collective
+    queue with a loss sentinel so *surviving* ranks raise the same
+    error at their next collective instead of starving until
+    ``timeout``, and then raises it to the caller naming the lost rank.
     """
     if size <= 0:
         raise ValueError("SPMD size must be positive")
@@ -401,6 +462,42 @@ def run_spmd_process(fn: Callable[[Any], Any], size: int, timeout: float = 300.0
         pool = ProcessTaskPool(payload, max_workers=size)
         try:
             futures = [pool.submit(rank) for rank in range(size)]
-            return [f.result(timeout=timeout) for f in futures]
+            _, not_done = wait(futures, timeout=timeout, return_when=FIRST_EXCEPTION)
+            lost = next(
+                (
+                    (rank, future)
+                    for rank, future in enumerate(futures)
+                    if future.done()
+                    and (future.cancelled() or future.exception() is not None)
+                ),
+                None,
+            )
+            if lost is None:
+                if not_done:
+                    raise TimeoutError(
+                        f"SPMD step did not complete within {timeout}s: "
+                        f"{len(not_done)} of {size} rank(s) still running"
+                    )
+                return [future.result() for future in futures]
+            rank, future = lost
+            cause = None if future.cancelled() else future.exception()
+            reason = (
+                "worker process died (BrokenProcessPool)"
+                if isinstance(cause, BrokenExecutor)
+                else f"{type(cause).__name__}: {cause}"
+                if cause is not None
+                else "rank future was cancelled"
+            )
+            loss = _RankLoss(rank, size, reason)
+            try:
+                up.put(loss)
+                for rank_queue in down:
+                    rank_queue.put(loss)
+            except Exception:  # pragma: no cover - manager already torn down
+                pass
+            # Give survivors a moment to observe the sentinel and exit
+            # their collectives cleanly before the pool is shut down.
+            wait(futures, timeout=5.0)
+            raise RankLostError(rank, size, reason) from cause
         finally:
             pool.close()

@@ -442,7 +442,9 @@ class DistributedTrainer:
             if self.config.backend == "process":
                 results = run_spmd_process(worker, self.config.ranks, timeout=self.config.timeout)
             else:
-                results = run_spmd(worker, self.config.ranks)
+                results = run_spmd(
+                    worker, self.config.ranks, barrier_timeout=self.config.timeout
+                )
             span.add("ranks", self.config.ranks)
             span.add("epochs", epochs)
             span.add("samples", epochs * len(self.train_samples))

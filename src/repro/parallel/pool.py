@@ -35,7 +35,14 @@ import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Protocol
 
-__all__ = ["PARALLEL_BACKENDS", "ProcessTaskPool", "WorkerPayload", "validate_backend"]
+__all__ = [
+    "PARALLEL_BACKENDS",
+    "PoolClosedError",
+    "ProcessTaskPool",
+    "WorkerPayload",
+    "current_task_attempt",
+    "validate_backend",
+]
 
 #: Every execution backend a parallel path accepts.  ``"thread"`` is the
 #: in-process pool each call site always had; ``"process"`` routes the
@@ -62,12 +69,71 @@ class WorkerPayload(Protocol):
         ...
 
 
+class PoolClosedError(RuntimeError):
+    """Raised when tasks are dispatched against a pool after ``close()``.
+
+    Subclasses :class:`RuntimeError` so callers matching the historical
+    bare ``RuntimeError("... closed")`` keep working; the message names
+    the pool and the payload type so a stray submit in a shutdown race
+    is attributable from the traceback alone.
+    """
+
+    def __init__(self, pool_name: str, payload_type: str) -> None:
+        super().__init__(
+            f"{pool_name} is closed; cannot dispatch tasks against "
+            f"payload {payload_type!r}"
+        )
+        self.pool_name = pool_name
+        self.payload_type = payload_type
+
+    def __reduce__(self):
+        return (PoolClosedError, (self.pool_name, self.payload_type))
+
+
 class _Warmup:
     """Sentinel task: spawns a worker and ships the payload, does nothing."""
 
 
+class _AttemptedTask:
+    """A task wrapped with its dispatch attempt number.
+
+    :class:`~repro.parallel.supervisor.SupervisedTaskPool` wraps every
+    task it re-dispatches after a crash so fault injectors inside the
+    worker (:class:`repro.hpc.faults.ProcessKillFault`) can fire on a
+    *specific* attempt — kill attempt 1, let the respawned attempt 2
+    run clean — keeping chaos tests deterministic.
+    """
+
+    __slots__ = ("task", "attempt")
+
+    def __init__(self, task: Any, attempt: int) -> None:
+        self.task = task
+        self.attempt = int(attempt)
+
+    def __getstate__(self):
+        return (self.task, self.attempt)
+
+    def __setstate__(self, state):
+        self.task, self.attempt = state
+
+
 #: One payload per worker *process*, installed by the initializer.
 _PAYLOAD: Any = None
+
+#: Attempt number of the task currently executing in *this* worker
+#: process; ``None`` outside a worker (coordinator, thread backends).
+_TASK_ATTEMPT: int | None = None
+
+
+def current_task_attempt() -> int | None:
+    """Attempt number of the task running in this worker process.
+
+    ``1`` on first dispatch, ``2`` after one crash re-dispatch, and so
+    on; ``None`` when not inside a process-pool worker (so in-worker
+    fault injectors stay inert on thread backends and in the
+    coordinator).
+    """
+    return _TASK_ATTEMPT
 
 
 def _initialize_worker(payload_bytes: bytes) -> None:
@@ -76,11 +142,19 @@ def _initialize_worker(payload_bytes: bytes) -> None:
 
 
 def _run_task(task: Any) -> Any:
+    global _TASK_ATTEMPT
     if _PAYLOAD is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker process has no payload; initializer did not run")
+    attempt = 1
+    if task.__class__ is _AttemptedTask:
+        attempt, task = task.attempt, task.task
     if task.__class__ is _Warmup:
         return None
-    return _PAYLOAD.run_task(task)
+    _TASK_ATTEMPT = attempt
+    try:
+        return _PAYLOAD.run_task(task)
+    finally:
+        _TASK_ATTEMPT = None
 
 
 class ProcessTaskPool:
@@ -100,10 +174,37 @@ class ProcessTaskPool:
     """
 
     def __init__(self, payload: WorkerPayload, max_workers: int = 1) -> None:
+        self._init_from_bytes(
+            pickle.dumps(payload), max_workers, type(payload).__name__
+        )
+
+    @classmethod
+    def from_bytes(
+        cls,
+        payload_bytes: bytes,
+        max_workers: int = 1,
+        payload_type: str = "payload",
+    ) -> "ProcessTaskPool":
+        """Build a pool from an already-pickled payload.
+
+        This is the respawn path of
+        :class:`~repro.parallel.supervisor.SupervisedTaskPool`: the
+        payload was serialized exactly once up front, so replacing a
+        crashed pool costs only process spawns, never re-pickling model
+        weights or binding sites.
+        """
+        pool = cls.__new__(cls)
+        pool._init_from_bytes(payload_bytes, max_workers, payload_type)
+        return pool
+
+    def _init_from_bytes(
+        self, payload_bytes: bytes, max_workers: int, payload_type: str
+    ) -> None:
         if max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = int(max_workers)
-        self._payload_bytes = pickle.dumps(payload)
+        self._payload_bytes = payload_bytes
+        self._payload_type = payload_type
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=self.max_workers,
             mp_context=multiprocessing.get_context("spawn"),
@@ -117,10 +218,28 @@ class ProcessTaskPool:
         """Size of the one-time shipped payload (observability)."""
         return len(self._payload_bytes)
 
+    @property
+    def payload_type(self) -> str:
+        """Class name of the shipped payload (diagnostics)."""
+        return self._payload_type
+
+    def is_broken(self) -> bool:
+        """Whether a worker death has poisoned the underlying executor."""
+        executor = self._executor
+        return bool(executor is not None and getattr(executor, "_broken", False))
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of live worker processes (chaos tests kill these)."""
+        executor = self._executor
+        if executor is None:
+            return []
+        processes = getattr(executor, "_processes", None) or {}
+        return [proc.pid for proc in list(processes.values()) if proc.is_alive()]
+
     def submit(self, task: Any) -> Future:
         """Dispatch one task descriptor; returns its future."""
         if self._executor is None:
-            raise RuntimeError("ProcessTaskPool is closed")
+            raise PoolClosedError(type(self).__name__, self._payload_type)
         return self._executor.submit(_run_task, task)
 
     def run(self, task: Any) -> Any:

@@ -79,6 +79,9 @@ class FusionScoringJob:
         Pre-fetch workers per rank (12 in the production configuration).
     job_name:
         Name used in the output layout and the scheduler.
+    barrier_timeout:
+        Seconds a rank waits at a collective before failing the job —
+        short in tests, raised for long campaign-scale jobs.
     """
 
     model: Module
@@ -90,6 +93,7 @@ class FusionScoringJob:
     batch_size_per_rank: int = 8
     num_data_workers: int = 0
     job_name: str = "fusion-job-0"
+    barrier_timeout: float = 120.0
     throughput_model: FusionThroughputModel = field(default_factory=FusionThroughputModel)
 
     def __post_init__(self) -> None:
@@ -176,7 +180,12 @@ class FusionScoringJob:
 
         threads_needed = self.num_ranks > 1 if use_threads is None else (use_threads or self.num_ranks > 1)
         with timer.section("evaluation"):
-            results = run_spmd(rank_program, self.num_ranks, use_threads=threads_needed)
+            results = run_spmd(
+                rank_program,
+                self.num_ranks,
+                use_threads=threads_needed,
+                barrier_timeout=self.barrier_timeout,
+            )
 
         gathered = results[0]
         all_ids: list[str] = []

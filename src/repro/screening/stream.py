@@ -70,9 +70,15 @@ from repro.docking.conveyorlc import CDT1Receptor, CDT2Ligand, CDT3Docking, CDT4
 from repro.docking.engine import validate_engine
 from repro.featurize.engine import FeaturePipeline
 from repro.featurize.pipeline import ComplexFeaturizer
-from repro.hpc.faults import FaultEvent, FaultInjector
+from repro.hpc.faults import FaultEvent, FaultInjector, ProcessKillFault
 from repro.nn.module import Module
-from repro.parallel import ProcessTaskPool, isolated_registry, validate_backend
+from repro.parallel import (
+    SupervisedTaskPool,
+    SupervisionConfig,
+    TaskFailure,
+    isolated_registry,
+    validate_backend,
+)
 from repro.runtime.checkpoint import CheckpointStore, checkpoint_key
 from repro.runtime.executor import RetryPolicy
 from repro.screening.partition import shard_bounds
@@ -385,6 +391,22 @@ class StreamConfig:
     library_name: str = "campaign"
     nan_policy: str = "drop"
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: crash budget per shard under ``backend="process"``: a shard whose
+    #: worker process dies (SIGKILL, OOM) is re-dispatched into a
+    #: respawned pool up to this many total attempts before it is
+    #: quarantined and handled as a failed shard (``on_shard_failure``).
+    #: Distinct from ``retry``, which governs *exceptions* in the shard
+    #: body; like ``retry`` it never enters shard keys.
+    max_task_retries: int = 3
+    #: optional per-shard wall-clock deadline under ``backend="process"``;
+    #: an overdue shard fails with ``TimeoutError`` (flowing into the
+    #: ``retry`` policy) without tearing down healthy workers
+    shard_deadline_s: float | None = None
+    #: escape hatch: when respawning crashed worker processes itself
+    #: keeps failing, finish remaining shards on in-process threads
+    #: instead of failing the stream (results are unchanged — shard
+    #: bodies are pure functions of the shard descriptor)
+    degrade_to_thread: bool = False
     #: ``"raise"`` stops the stream on retry exhaustion (completed shards
     #: keep their checkpoints); ``"skip"`` records the shard as failed
     #: and continues — the accounting invariant
@@ -405,6 +427,10 @@ class StreamConfig:
             raise ValueError("fusion_batch_size must be non-negative (0 = per-compound)")
         if self.on_shard_failure not in ("raise", "skip"):
             raise ValueError(f"unknown on_shard_failure policy '{self.on_shard_failure}'")
+        if self.max_task_retries < 1:
+            raise ValueError("max_task_retries must be >= 1")
+        if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
+            raise ValueError("shard_deadline_s must be positive when set")
         validate_engine(self.docking_engine)
         validate_backend(self.backend)
 
@@ -582,6 +608,14 @@ class StreamingScreen:
     fault_injector:
         Optional fault source; each shard attempt passes through one
         draw exactly like the runtime's :class:`JobRunner` jobs.
+    process_killer:
+        Optional :class:`~repro.hpc.faults.ProcessKillFault` for chaos
+        testing the process backend: unlike the coordinator-side
+        ``fault_injector`` it *ships with the worker payload* and
+        SIGKILLs the worker process executing a named shard, exercising
+        the real crash → respawn → re-dispatch supervision path.  Inert
+        on the thread backend (the kill only fires inside a pool
+        worker), so one engine config is safe on both backends.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` bundle.  When given,
         it is *activated* for the duration of :meth:`run`, so spans from
@@ -605,6 +639,7 @@ class StreamingScreen:
         checkpoints: CheckpointStore | None = None,
         checkpoint_salt: str = "",
         fault_injector: FaultInjector | None = None,
+        process_killer: ProcessKillFault | None = None,
         prep_factory: Callable[[], CDT2Ligand] | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
@@ -626,10 +661,13 @@ class StreamingScreen:
         self.checkpoints = checkpoints
         self.checkpoint_salt = str(checkpoint_salt)
         self.faults = fault_injector or FaultInjector(enabled=False)
+        # Travels in the worker payload (not coordinator-only): the kill
+        # must fire inside the worker process it targets.
+        self.process_killer = process_killer
         self.prep_factory = prep_factory or CDT2Ligand
         self.telemetry = telemetry
         self._last_run: dict | None = None
-        self._shard_pool: ProcessTaskPool | None = None
+        self._shard_pool: SupervisedTaskPool | None = None
         self.receptors = CDT1Receptor().run(list(self.sites.values()))
         self._site_map = {name: receptor.site for name, receptor in self.receptors.items()}
 
@@ -732,6 +770,10 @@ class StreamingScreen:
 
     def _execute_shard(self, index: int, start: int, stop: int, source: Any) -> ShardOutcome:
         cfg = self.config
+        if self.process_killer is not None:
+            # chaos hook: SIGKILL this worker if the fault targets this
+            # shard on this attempt (inert outside pool workers)
+            self.process_killer.check(self.shard_name(index))
         molecules = self._source_slice(source, start, stop)
         prepared = self.prep_factory().run(molecules, library=cfg.library_name)
         docking = CDT3Docking(
@@ -784,7 +826,12 @@ class StreamingScreen:
         pool = self._shard_pool
         if pool is None:
             return self._execute_shard(index, start, stop, source)
-        outcome, worker_metrics = pool.run((index, start, stop))
+        result = pool.run((index, start, stop))
+        if isinstance(result, TaskFailure):
+            # Quarantined poison shard: escalate into the ordinary
+            # shard-failure flow (retry budget, then on_shard_failure).
+            raise result.to_exception()
+        outcome, worker_metrics = result
         current_telemetry().registry.absorb(worker_metrics)
         return outcome
 
@@ -900,10 +947,20 @@ class StreamingScreen:
         if cfg.backend == "process" and limit > 0:
             # one payload (stripped engine + source) shipped per worker
             # process; capped at the shard count so tiny runs do not pay
-            # for processes that would never receive a task
-            self._shard_pool = ProcessTaskPool(
+            # for processes that would never receive a task.  The pool
+            # runs under supervision: a SIGKILL'd shard worker respawns
+            # the pool and re-executes the shard from its seed (shard
+            # bodies are pure functions of the descriptor, so recovery
+            # never changes a result bit).
+            self._shard_pool = SupervisedTaskPool(
                 _ShardWorkerPayload(self, source),
                 max_workers=min(cfg.workers, limit),
+                config=SupervisionConfig(
+                    max_task_retries=cfg.max_task_retries,
+                    task_deadline_s=cfg.shard_deadline_s,
+                    degrade_to_thread=cfg.degrade_to_thread,
+                ),
+                registry=registry,
             )
             self._shard_pool.warm()
             run_span.set("process_workers", self._shard_pool.max_workers)

@@ -18,7 +18,7 @@ from repro.serving.requests import (
     molecule_digest,
     site_digest,
 )
-from repro.serving.service import Overloaded, PendingScore, ScoringService, ServingConfig
+from repro.serving.service import DrainResult, Overloaded, PendingScore, ScoringService, ServingConfig
 from repro.serving.workers import ModuleBackend, ProcessModelBackend, ReplicaPool, ScoringBackend
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "model_fingerprint",
     "molecule_digest",
     "site_digest",
+    "DrainResult",
     "Overloaded",
     "PendingScore",
     "ScoringService",

@@ -66,6 +66,36 @@ class ServingConfig:
     #: collate and the batch protocol are unchanged — so the choice never
     #: enters result-cache or checkpoint keys.
     backend: str = "thread"
+    #: consecutive batch failures on one replica before its circuit
+    #: breaker opens and the replica's backend is restarted; dispatch
+    #: routes around open replicas until a half-open probe succeeds.
+    #: ``0`` disables breakers.  Never affects results when no batch
+    #: fails — the breaker only observes outcomes.
+    breaker_threshold: int = 3
+    #: seconds an open replica breaker waits before allowing one probe
+    breaker_reset_s: float = 1.0
+
+
+class DrainResult:
+    """Outcome of :meth:`ScoringService.drain` — truthy when fully drained.
+
+    Evaluates like the old boolean (``if service.drain(...)`` keeps
+    working) while naming exactly which admitted request ids were still
+    pending when the timeout struck, so operators can chase stuck
+    requests instead of staring at a bare ``False``.
+    """
+
+    def __init__(self, completed: bool, pending: tuple[str, ...] = ()) -> None:
+        self.completed = completed
+        self.pending = pending
+
+    def __bool__(self) -> bool:
+        return self.completed
+
+    def __repr__(self) -> str:
+        if self.completed:
+            return "DrainResult(completed=True)"
+        return f"DrainResult(completed=False, pending={list(self.pending)!r})"
 
 
 class PendingScore:
@@ -142,6 +172,9 @@ class ScoringService:
         self.config = config or ServingConfig()
         cfg = self.config
         validate_backend(cfg.backend)
+        # built first so replica supervision and breakers share one registry
+        self.metrics = ServingMetrics(max_batch_size=cfg.max_batch_size, registry=registry)
+        shared_registry = self.metrics.registry
         if cfg.backend == "process":
             # process replicas always own their weights (a process cannot
             # share a live module), so replicate_weights is implied; a
@@ -152,7 +185,7 @@ class ScoringService:
                     "backend='process' requires model=; a custom ScoringBackend "
                     "cannot be shipped to worker processes"
                 )
-            base = ProcessModelBackend(model)
+            base = ProcessModelBackend(model, registry=shared_registry)
             backends: list[ScoringBackend] = base.replicate(cfg.num_replicas)
         else:
             base = backend if backend is not None else ModuleBackend(model)
@@ -166,12 +199,17 @@ class ScoringService:
             else:
                 backends = [base] * cfg.num_replicas
         self.featurizer = featurizer
-        self.pool = ReplicaPool(backends, dispatch=cfg.dispatch)
+        self.pool = ReplicaPool(
+            backends,
+            dispatch=cfg.dispatch,
+            breaker_threshold=cfg.breaker_threshold,
+            breaker_reset_s=cfg.breaker_reset_s,
+            registry=shared_registry,
+        )
         self.batcher = MicroBatcher(
             max_batch_size=cfg.max_batch_size, max_wait_s=cfg.max_wait_s, capacity=cfg.queue_capacity
         )
         self.cache = ResultCache(cfg.cache_capacity)
-        self.metrics = ServingMetrics(max_batch_size=cfg.max_batch_size, registry=registry)
         feature_cache = getattr(featurizer, "cache", None)
         if feature_cache is not None:
             self.metrics.registry.register_probe(
@@ -180,6 +218,7 @@ class ScoringService:
         self.model_fp = base.fingerprint()
         self._dispatcher: threading.Thread | None = None
         self._inflight = 0
+        self._pending_ids: set[str] = set()
         self._inflight_cond = threading.Condition()
         self._running = False
         self._closed = False
@@ -201,16 +240,27 @@ class ScoringService:
         self._dispatcher.start()
         return self
 
-    def drain(self, timeout: float | None = None) -> bool:
-        """Block until every admitted request has completed."""
+    def drain(self, timeout: float | None = None) -> DrainResult:
+        """Block until every admitted request has completed.
+
+        Returns a truthy :class:`DrainResult` on success.  On timeout the
+        (falsy) result's ``pending`` names the request ids still in
+        flight, and the same list is logged — so a stuck drain says *what*
+        is stuck.
+        """
         deadline = None if timeout is None else time.perf_counter() + timeout
         with self._inflight_cond:
             while self._inflight > 0:
                 remaining = None if deadline is None else deadline - time.perf_counter()
                 if remaining is not None and remaining <= 0:
-                    return False
+                    stuck = tuple(sorted(self._pending_ids))
+                    logger.warning(
+                        "drain timed out after %.3fs with %d requests pending: %s",
+                        timeout, len(stuck), ", ".join(stuck) or "<ids unknown>",
+                    )
+                    return DrainResult(completed=False, pending=stuck)
                 self._inflight_cond.wait(timeout=remaining)
-        return True
+        return DrainResult(completed=True)
 
     def close(self) -> None:
         """Drain outstanding work, then stop all threads (terminal)."""
@@ -266,6 +316,7 @@ class ScoringService:
                     f"{self._inflight} requests in flight (capacity {self.config.queue_capacity}); retry later"
                 )
             self._inflight += 1
+            self._pending_ids.add(request.request_id)
 
         try:
             self.metrics.record_submission(cache_hit=False)
@@ -279,11 +330,11 @@ class ScoringService:
             # already counted as submitted but will never complete: close
             # the ledger so submitted == completed + failed stays true
             self.metrics.record_failure()
-            self._finish_one()
+            self._finish_one(request.request_id)
             raise RuntimeError("ScoringService is closed") from None
         except BaseException:
             self.metrics.record_failure()
-            self._finish_one()
+            self._finish_one(request.request_id)
             raise
         return pending
 
@@ -356,6 +407,7 @@ class ScoringService:
                     while self._inflight + len(chunk) > headroom:
                         self._inflight_cond.wait()
                 self._inflight += len(chunk)
+                self._pending_ids.update(w.request.request_id for w in chunk)
             try:
                 self.pool.submit(
                     lambda replica, backend, chunk=chunk: self._execute(replica, backend, MicroBatch(items=chunk))
@@ -364,9 +416,9 @@ class ScoringService:
                 # dispatch refused (e.g. pool closed concurrently): undo the
                 # in-flight accounting and fail this chunk plus everything
                 # not yet dispatched, or drain()/close() would hang forever
-                for _ in chunk:
+                for work in chunk:
                     self.metrics.record_failure()
-                    self._finish_one()
+                    self._finish_one(work.request.request_id)
                 for _ in misses[begin + size :]:
                     self.metrics.record_failure()
                 raise
@@ -412,9 +464,11 @@ class ScoringService:
             latency_s=latency_s,
         )
 
-    def _finish_one(self) -> None:
+    def _finish_one(self, request_id: str | None = None) -> None:
         with self._inflight_cond:
             self._inflight -= 1
+            if request_id is not None:
+                self._pending_ids.discard(request_id)
             self._inflight_cond.notify_all()
 
     def _dispatch_loop(self) -> None:
@@ -438,6 +492,7 @@ class ScoringService:
                 raise RuntimeError(
                     f"backend returned {scores.shape[0]} scores for {len(items)} requests"
                 )
+            self.pool.record_result(replica, ok=True)
             self.metrics.record_batch(len(items))
             now = time.perf_counter()
             for work, score in zip(items, scores):
@@ -453,9 +508,10 @@ class ScoringService:
                 )
         except BaseException as error:  # propagate to every waiting caller
             logger.error("scoring batch failed on replica %d: %s", replica, error)
+            self.pool.record_result(replica, ok=False)
             for work in items:
                 self.metrics.record_failure()
                 work.pending._fail(error)
         finally:
-            for _ in items:
-                self._finish_one()
+            for work in items:
+                self._finish_one(work.request.request_id)

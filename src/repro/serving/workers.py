@@ -19,8 +19,17 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.nn.tensor import no_grad
-from repro.parallel import ProcessTaskPool
+from repro.parallel import (
+    CircuitBreaker,
+    SupervisedTaskPool,
+    SupervisionConfig,
+    TaskFailure,
+)
 from repro.serving.requests import model_fingerprint
+from repro.telemetry import MetricsRegistry
+from repro.utils.logging import get_logger
+
+logger = get_logger("repro.serving.workers")
 
 
 class ScoringBackend(Protocol):
@@ -109,13 +118,21 @@ class ProcessModelBackend:
     and cache keys are exactly :class:`ModuleBackend`'s.
     """
 
-    def __init__(self, model: Module, name: str = "") -> None:
+    def __init__(
+        self,
+        model: Module,
+        name: str = "",
+        supervision: SupervisionConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.model = model
         self.model.eval()
         self.name = name or f"{type(model).__name__}@process"
         self._fingerprint = model_fingerprint(model)
+        self._supervision = supervision or SupervisionConfig()
+        self._registry = registry
         self._lock = threading.Lock()
-        self._pool: ProcessTaskPool | None = None
+        self._pool: SupervisedTaskPool | None = None
 
     def fingerprint(self) -> str:
         return self._fingerprint
@@ -126,12 +143,17 @@ class ProcessModelBackend:
         Idempotent, and valid again after :meth:`close` — a restarted
         replica pool gets a fresh process.  The warm-up is asynchronous:
         process startup overlaps the rest of pool startup, and the first
-        ``score_batch`` simply queues behind it.
+        ``score_batch`` simply queues behind it.  The pool runs under
+        supervision: a killed worker process respawns and the affected
+        batch re-scores bit-identically (inference is pure).
         """
         with self._lock:
             if self._pool is None:
-                self._pool = ProcessTaskPool(
-                    _ModelScoringPayload(self.model, self.name), max_workers=1
+                self._pool = SupervisedTaskPool(
+                    _ModelScoringPayload(self.model, self.name),
+                    max_workers=1,
+                    config=self._supervision,
+                    registry=self._registry,
                 )
                 self._pool.warm()
 
@@ -142,7 +164,15 @@ class ProcessModelBackend:
         if pool is None:  # pragma: no cover - closed between start and here
             raise RuntimeError(f"backend '{self.name}' is closed")
         scores = pool.run(batch)
+        if isinstance(scores, TaskFailure):
+            raise scores.to_exception()
         return np.asarray(scores, dtype=np.float64).reshape(-1)
+
+    def worker_pids(self) -> list[int]:
+        """PID(s) of the replica's live worker process (chaos tests)."""
+        with self._lock:
+            pool = self._pool
+        return [] if pool is None else pool.worker_pids()
 
     def close(self) -> None:
         with self._lock:
@@ -154,7 +184,12 @@ class ProcessModelBackend:
         """Replicas that each own a worker process (weights shipped per process)."""
         replicas = []
         for index in range(copies):
-            clone = ProcessModelBackend(self.model, name=f"{self.name}#{index}")
+            clone = ProcessModelBackend(
+                self.model,
+                name=f"{self.name}#{index}",
+                supervision=self._supervision,
+                registry=self._registry,
+            )
             clone._fingerprint = self._fingerprint
             replicas.append(clone)
         return replicas
@@ -163,9 +198,10 @@ class ProcessModelBackend:
 class _Replica:
     """One worker thread draining a private task queue."""
 
-    def __init__(self, index: int, backend: ScoringBackend) -> None:
+    def __init__(self, index: int, backend: ScoringBackend, breaker: CircuitBreaker | None = None) -> None:
         self.index = index
         self.backend = backend
+        self.breaker = breaker
         self.tasks: deque[Callable[[], None]] = deque()
         self.cond = threading.Condition()
         self.in_flight = 0
@@ -220,22 +256,60 @@ class ReplicaPool:
     dispatch:
         ``"round_robin"`` cycles replicas; ``"least_loaded"`` picks the
         replica with the fewest queued + running batches.
+    breaker_threshold:
+        Consecutive failures on one replica before its circuit breaker
+        opens.  ``0`` (the default) disables breakers entirely: dispatch
+        and failure handling are bit-identical to the pre-breaker pool.
+        When a breaker opens, :meth:`record_result` restarts the
+        replica's backend (``close()`` then ``start()``) and dispatch
+        routes around it until a half-open probe succeeds.
+    breaker_reset_s:
+        Seconds an open breaker waits before allowing one probe batch.
+    registry:
+        Metrics registry receiving ``supervision.breaker_*`` series from
+        the per-replica breakers.
     """
 
     DISPATCH_POLICIES = ("round_robin", "least_loaded")
 
-    def __init__(self, backends: Sequence[ScoringBackend], dispatch: str = "least_loaded") -> None:
+    def __init__(
+        self,
+        backends: Sequence[ScoringBackend],
+        dispatch: str = "least_loaded",
+        breaker_threshold: int = 0,
+        breaker_reset_s: float = 1.0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if not backends:
             raise ValueError("ReplicaPool needs at least one backend")
         if dispatch not in self.DISPATCH_POLICIES:
             raise ValueError(f"dispatch must be one of {self.DISPATCH_POLICIES}, got '{dispatch}'")
+        if breaker_threshold < 0:
+            raise ValueError(f"breaker_threshold must be >= 0, got {breaker_threshold}")
         self.dispatch = dispatch
         self._backends = list(backends)
-        self._replicas = [_Replica(i, b) for i, b in enumerate(self._backends)]
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_s = breaker_reset_s
+        self._registry = registry
+        self._replicas = self._build_replicas()
         self._rr_lock = threading.Lock()
         self._rr_next = 0
         self._started = False
         self._closed = False
+
+    def _build_replicas(self) -> list[_Replica]:
+        replicas = []
+        for index, backend in enumerate(self._backends):
+            breaker = None
+            if self._breaker_threshold > 0:
+                breaker = CircuitBreaker(
+                    name=f"replica-{index}",
+                    failure_threshold=self._breaker_threshold,
+                    reset_timeout_s=self._breaker_reset_s,
+                    registry=self._registry,
+                )
+            replicas.append(_Replica(index, backend, breaker=breaker))
+        return replicas
 
     # ------------------------------------------------------------------ #
     @property
@@ -255,7 +329,7 @@ class ReplicaPool:
         if self._started:
             return
         if self._closed:
-            self._replicas = [_Replica(i, b) for i, b in enumerate(self._backends)]
+            self._replicas = self._build_replicas()
             self._closed = False
         self._started = True
         for replica in self._replicas:
@@ -285,12 +359,26 @@ class ReplicaPool:
 
     # ------------------------------------------------------------------ #
     def _pick(self) -> _Replica:
+        candidates = self._replicas
+        if self._breaker_threshold > 0:
+            healthy = [r for r in candidates if r.breaker is None or r.breaker.peek_allow()]
+            if healthy:
+                candidates = healthy
+            else:
+                # every breaker is open: queue onto the replica whose probe
+                # window opens soonest rather than failing the request
+                soonest = min(candidates, key=lambda r: (r.breaker.seconds_until_probe(), r.index))
+                return soonest
         if self.dispatch == "round_robin":
             with self._rr_lock:
-                replica = self._replicas[self._rr_next % len(self._replicas)]
+                replica = candidates[self._rr_next % len(candidates)]
                 self._rr_next += 1
-                return replica
-        return min(self._replicas, key=lambda r: (r.load(), r.index))
+        else:
+            replica = min(candidates, key=lambda r: (r.load(), r.index))
+        if replica.breaker is not None:
+            # claim the half-open probe slot if this pick is the probe
+            replica.breaker.allow()
+        return replica
 
     def submit(self, work: Callable[[int, ScoringBackend], None]) -> int:
         """Assign ``work(replica_index, backend)`` to a replica; returns its index."""
@@ -299,6 +387,43 @@ class ReplicaPool:
         replica = self._pick()
         replica.submit(lambda: work(replica.index, replica.backend))
         return replica.index
+
+    def record_result(self, replica_index: int, ok: bool) -> None:
+        """Report a batch outcome to the replica's circuit breaker.
+
+        No-op when breakers are disabled.  The moment a breaker opens
+        (``failure_threshold`` consecutive failures) the replica's
+        backend is restarted in place — ``close()`` then ``start()`` —
+        which for a :class:`ProcessModelBackend` replaces the worker
+        process.  Called from the replica's own worker thread, so the
+        restart never blocks dispatch to healthy replicas.
+        """
+        replica = self._replicas[replica_index]
+        breaker = replica.breaker
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success()
+            return
+        if breaker.record_failure():
+            logger.warning(
+                "circuit breaker opened for replica %d (%d consecutive failures); restarting backend",
+                replica_index,
+                self._breaker_threshold,
+            )
+            close = getattr(replica.backend, "close", None)
+            start = getattr(replica.backend, "start", None)
+            try:
+                if close is not None:
+                    close()
+                if start is not None:
+                    start()
+            except Exception:  # pragma: no cover - restart is best-effort
+                logger.exception("replica %d backend restart failed", replica_index)
+
+    def breaker_states(self) -> list[str | None]:
+        """Current breaker state per replica (``None`` when disabled)."""
+        return [None if r.breaker is None else r.breaker.state for r in self._replicas]
 
     def loads(self) -> list[int]:
         """Queued + running batches per replica (dispatch observability)."""

@@ -1,5 +1,11 @@
 """Tests for the simulated HPC substrate: cluster, scheduler, MPI, Horovod, faults, performance, storage."""
 
+import os
+import pickle
+import signal
+import threading
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -8,10 +14,35 @@ from repro.hpc.cluster import LASSEN_NODE, SimulatedCluster
 from repro.hpc.faults import FaultInjector
 from repro.hpc.h5store import H5Store
 from repro.hpc.horovod import HorovodContext
-from repro.hpc.mpi import CollectiveError, LocalCommunicator, RankContext, run_spmd
+from repro.hpc.mpi import (
+    CollectiveError,
+    LocalCommunicator,
+    RankContext,
+    RankLostError,
+    run_spmd,
+    run_spmd_process,
+)
 from repro.hpc.performance import FusionThroughputModel, ScorerCostModel
 from repro.hpc.scheduler import Job, JobScheduler, JobState, SchedulerConfig
 from repro.utils.timer import WallClock
+
+
+# Rank programs for the process-backed SPMD tests: module level, so the
+# spawned workers can unpickle them by reference.
+def _spmd_allgather_ranks(ctx):
+    return ctx.allgather(ctx.rank, tag="ranks")
+
+
+def _spmd_kill_rank_one(ctx):
+    if ctx.rank == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return ctx.allgather(ctx.rank, tag="ranks")
+
+
+def _spmd_raise_rank_one(ctx):
+    if ctx.rank == 1:
+        raise ValueError("rank payload exploded")
+    return ctx.allgather(ctx.rank, tag="ranks")
 
 
 class TestCluster:
@@ -316,3 +347,56 @@ class TestH5Store:
             store.save(path)
             loaded = H5Store.load(path)
             np.testing.assert_allclose(loaded.read("data/values"), np.array(values), rtol=1e-6, atol=1e-6)
+
+
+class TestBarrierTimeoutPlumbing:
+    def test_communicator_accepts_and_validates_timeout(self):
+        comm = LocalCommunicator(2, barrier_timeout=0.5)
+        assert comm.barrier_timeout == 0.5
+        with pytest.raises(ValueError, match="barrier_timeout"):
+            LocalCommunicator(2, barrier_timeout=0.0)
+        with pytest.raises(ValueError, match="barrier_timeout"):
+            LocalCommunicator(2, barrier_timeout=-1.0)
+
+    def test_run_spmd_plumbs_short_timeout_to_barriers(self):
+        # rank 1 shows up a full second late: with the default 120 s
+        # timeout this test would hang, with the plumbed 0.2 s it breaks
+        # the barrier almost immediately
+        def program(ctx):
+            if ctx.rank == 1:
+                time.sleep(1.0)
+            ctx.barrier()
+            return ctx.rank
+
+        started = time.perf_counter()
+        with pytest.raises(threading.BrokenBarrierError):
+            run_spmd(program, 2, barrier_timeout=0.2)
+        assert time.perf_counter() - started < 10.0
+
+
+class TestProcessSpmdFaults:
+    def test_happy_path_allgathers_across_processes(self):
+        results = run_spmd_process(_spmd_allgather_ranks, 2, timeout=120.0)
+        assert results == [[0, 1], [0, 1]]
+
+    def test_killed_rank_raises_rank_lost_error(self):
+        # a SIGKILL'd rank breaks the pool; the caller gets a descriptive
+        # RankLostError promptly instead of starving until the timeout
+        started = time.perf_counter()
+        with pytest.raises(RankLostError, match="was lost during an SPMD step"):
+            run_spmd_process(_spmd_kill_rank_one, 2, timeout=120.0)
+        assert time.perf_counter() - started < 60.0
+
+    def test_raising_rank_poisons_survivors_fast(self):
+        with pytest.raises(RankLostError, match="ValueError: rank payload exploded"):
+            run_spmd_process(_spmd_raise_rank_one, 2, timeout=120.0)
+
+    def test_rank_lost_error_pickles_with_fields(self):
+        error = RankLostError(3, 16, "worker process died (BrokenProcessPool)")
+        clone = pickle.loads(pickle.dumps(error))
+        assert (clone.rank, clone.size, clone.reason) == (3, 16, error.reason)
+        assert "rank 3 of 16" in str(clone)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            run_spmd_process(_spmd_allgather_ranks, 0)

@@ -283,3 +283,201 @@ def test_concurrent_stress_with_failing_batches(workbench, stress_traffic):
     assert snap.completed == outcomes["ok"]
     assert snap.rejected == outcomes["rejected"]
     assert snap.submitted == snap.completed + snap.failed
+
+
+# --------------------------------------------------------------------- #
+# chaos: replica death, circuit breakers, drain diagnostics
+# --------------------------------------------------------------------- #
+class _RestartableFlakyBackend:
+    """Thread backend that fails every batch until restarted via close/start.
+
+    Models a wedged replica: the circuit breaker's restart hook is the
+    only way it comes back.  ``heal_after_restarts`` controls how many
+    restarts it takes — with 2, the first half-open probe still fails,
+    so the breaker must *reopen* before the replica finally recovers.
+    """
+
+    name = "flaky-restartable"
+
+    def __init__(self, heal_after_restarts: int = 1) -> None:
+        self.heal_after_restarts = heal_after_restarts
+        self.restarts = 0
+        self.wedged = True
+        self._lock = threading.Lock()
+
+    def fingerprint(self) -> str:
+        return "flaky-restartable"
+
+    def start(self) -> None:
+        with self._lock:
+            self.restarts += 1
+            if self.restarts >= self.heal_after_restarts:
+                self.wedged = False
+
+    def close(self) -> None:
+        pass
+
+    def score_batch(self, batch: dict) -> np.ndarray:
+        with self._lock:
+            if self.wedged:
+                raise RuntimeError("replica wedged")
+        return np.zeros(len(batch["ids"]), dtype=np.float64)
+
+
+def test_replica_worker_kill_under_load_ledger_closes(workbench, stress_traffic):
+    """SIGKILL the only process replica's worker mid-load: supervision
+    respawns it and re-scores the lost batch, so every admitted request
+    completes, the ledger closes with zero failures, and the respawn is
+    visible in the shared registry."""
+    import os
+    import signal
+
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    config = ServingConfig(
+        max_batch_size=2, max_wait_s=0.001, num_replicas=1,
+        queue_capacity=32, cache_enabled=False, backend="process",
+    )
+    service = ScoringService(
+        model=workbench.coherent_fusion, featurizer=workbench.featurizer,
+        config=config, registry=registry,
+    ).start()
+    try:
+        # warm the worker with one scored request, then kill it
+        service.submit(stress_traffic[0]).result(timeout=120.0)
+        backend = service.pool._replicas[0].backend
+        pids = backend.worker_pids()
+        assert pids, "process replica should have a live worker"
+        for pid in pids:
+            os.kill(pid, signal.SIGKILL)
+        handles = [service.submit(c) for c in stress_traffic]
+        responses = [h.result(timeout=120.0) for h in handles]
+        assert len(responses) == len(stress_traffic)
+        assert service.drain(timeout=120.0)
+        snap = service.snapshot()
+    finally:
+        service.close()
+    assert snap.submitted == snap.completed + snap.failed
+    assert snap.failed == 0
+    assert registry.snapshot()["counters"].get("supervision.respawns", 0) >= 1
+
+
+def test_breaker_opens_restarts_and_reopens_on_failed_probe(workbench, stress_traffic):
+    """Consecutive batch failures open the replica's breaker and trigger a
+    backend restart; the first half-open probe still fails, so the breaker
+    reopens (a second restart) before the replica heals — and the metrics
+    ledger closes across the whole episode."""
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    # start #1 is the pool's own startup; the breaker-triggered restarts
+    # are #2 (first open) and #3 (reopen after the failed probe) — only
+    # the third brings the replica back
+    backend = _RestartableFlakyBackend(heal_after_restarts=3)
+    config = ServingConfig(
+        max_batch_size=4, num_replicas=1, queue_capacity=16, cache_enabled=False,
+        breaker_threshold=2, breaker_reset_s=0.05,
+    )
+    service = ScoringService(
+        backend=backend, featurizer=workbench.featurizer, config=config, registry=registry
+    ).start()
+    failures = 0
+    successes = 0
+    try:
+        deadline = time.perf_counter() + 60.0
+        while successes < 3 and time.perf_counter() < deadline:
+            try:
+                service.submit(stress_traffic[successes % len(stress_traffic)]).result(timeout=60.0)
+                successes += 1
+            except RuntimeError as error:
+                assert "replica wedged" in str(error)
+                failures += 1
+                time.sleep(0.06)  # let the open breaker reach its probe window
+        assert service.drain(timeout=60.0)
+        snap = service.snapshot()
+    finally:
+        service.close()
+    assert successes >= 3
+    assert failures >= 3  # threshold failures to open, plus the failed probe
+    assert backend.restarts >= 3  # startup, open -> restart, reopen -> restart again
+    counters = registry.snapshot()["counters"]
+    assert counters.get("supervision.breaker_opened", 0) >= 2
+    assert snap.submitted == snap.completed + snap.failed
+    assert snap.failed == failures
+
+
+def test_drain_timeout_names_pending_request_ids(workbench, stress_traffic):
+    """A timed-out drain returns a falsy DrainResult naming exactly the
+    admitted-but-incomplete request ids, then drains clean once the
+    stalled batch is released."""
+    release = threading.Event()
+
+    class _StalledBackend:
+        name = "stalled"
+
+        def fingerprint(self):
+            return "stalled"
+
+        def score_batch(self, batch):
+            release.wait(timeout=60.0)
+            return np.zeros(len(batch["ids"]), dtype=np.float64)
+
+    config = ServingConfig(
+        max_batch_size=8, max_wait_s=0.001, num_replicas=1,
+        queue_capacity=8, cache_enabled=False,
+    )
+    service = ScoringService(
+        backend=_StalledBackend(), featurizer=workbench.featurizer, config=config
+    ).start()
+    try:
+        handles = [service.submit(c) for c in stress_traffic[:2]]
+        expected_ids = {h.request.request_id for h in handles}
+        stuck = service.drain(timeout=0.1)
+        assert not stuck
+        assert set(stuck.pending) == expected_ids
+        assert "pending" in repr(stuck)
+        release.set()
+        drained = service.drain(timeout=60.0)
+        assert drained and drained.pending == ()
+        for handle in handles:
+            handle.result(timeout=60.0)
+    finally:
+        release.set()
+        service.close()
+
+
+def test_replica_pool_routes_around_open_breaker():
+    """With one replica's breaker open, dispatch prefers the healthy
+    replica; when every breaker is open, the soonest-to-probe replica is
+    chosen instead of failing the request."""
+    from repro.serving import ReplicaPool
+
+    class _StubBackend:
+        def __init__(self, tag):
+            self.name = tag
+
+        def fingerprint(self):
+            return self.name
+
+        def score_batch(self, batch):  # pragma: no cover - never dispatched
+            return np.zeros(0)
+
+    pool = ReplicaPool(
+        [_StubBackend("a"), _StubBackend("b")],
+        dispatch="round_robin",
+        breaker_threshold=1,
+        breaker_reset_s=30.0,
+    )
+    assert pool.breaker_states() == ["closed", "closed"]
+    pool.record_result(0, ok=False)  # threshold 1: opens immediately
+    assert pool.breaker_states()[0] == "open"
+    # round-robin now cycles over the healthy candidate only
+    assert [pool._pick().index for _ in range(4)] == [1, 1, 1, 1]
+    pool.record_result(1, ok=False)
+    assert pool.breaker_states() == ["open", "open"]
+    # all open: fall back to whichever replica can probe soonest
+    assert pool._pick().index in (0, 1)
+    pool.record_result(0, ok=True)
+    assert pool.breaker_states()[0] == "closed"
+    assert pool._pick().index == 0

@@ -337,6 +337,40 @@ class TestProcessBackend:
         with pytest.raises(ValueError, match="unknown execution backend"):
             make_stream_config(backend="fork")
 
+    def test_seeded_worker_kill_mid_stream_recovers_bit_identical(
+        self, workbench, stream_sites, stream_deck
+    ):
+        """Chaos acceptance: a seeded SIGKILL lands inside one shard worker
+        mid-stream; the supervised pool respawns the process, re-runs the
+        lost shard, and the run completes bit-identical to an unfaulted
+        thread-backend run — with the recovery visible in telemetry."""
+        from repro.telemetry import Telemetry, activate
+
+        clean = run_stream(
+            workbench, stream_sites, stream_deck, make_stream_config(shard_size=4, workers=2)
+        )
+        num_shards = len(shard_bounds(len(stream_deck), 4))
+        names = [f"stream-shard-{index:06d}" for index in range(num_shards)]
+        injector = FaultInjector(seed=SEED)
+        killer = injector.plan_process_kills(names, count=1, at_attempt=1)
+        assert killer.names and injector.injected  # the kill really is planned
+
+        bundle = Telemetry.disabled()
+        with activate(bundle):
+            faulted = run_stream(
+                workbench, stream_sites, stream_deck,
+                make_stream_config(shard_size=4, workers=2, backend="process"),
+                process_killer=killer,
+            )
+        counters = bundle.registry.snapshot()["counters"]
+        assert counters.get("supervision.respawns", 0) >= 1
+        assert counters.get("supervision.redispatches", 0) >= 1
+        assert faulted.num_compounds == len(stream_deck)
+        for site in stream_sites:
+            assert np.array_equal(faulted.topk_arrays(site)[0], clean.topk_arrays(site)[0])
+            assert np.array_equal(faulted.topk_arrays(site)[1], clean.topk_arrays(site)[1])
+            assert np.array_equal(faulted.stats[site].as_array(), clean.stats[site].as_array())
+
     def test_process_campaign_matches_thread_campaign(
         self, workbench, stream_sites, streaming_campaign
     ):

@@ -1,0 +1,458 @@
+"""Crash supervision: SupervisedTaskPool, quarantine, breakers, kill faults.
+
+The expensive chaos paths (real SIGKILL'd spawn workers) run against
+real :class:`ProcessTaskPool` generations; the pure supervision logic
+(respawn exhaustion, degrade-to-thread, deadlines) runs against an
+in-process scriptable pool so the state machine is tested exhaustively
+without paying a process spawn per case.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.hpc.faults import FaultInjector, ProcessKillFault
+from repro.parallel import (
+    PoolClosedError,
+    ProcessTaskPool,
+    RespawnExhausted,
+    SupervisedTaskPool,
+    SupervisionConfig,
+    TaskFailure,
+    TaskQuarantined,
+    current_task_attempt,
+)
+from repro.parallel.pool import _AttemptedTask
+from repro.telemetry import MetricsRegistry
+
+
+class _EchoPayload:
+    """Doubles integers; optionally kills its own worker via a fault."""
+
+    def __init__(self, killer: ProcessKillFault | None = None) -> None:
+        self.killer = killer
+
+    def run_task(self, task):
+        if self.killer is not None:
+            self.killer.check(f"task-{task}")
+        return task * 2
+
+
+class _AttemptReporterPayload:
+    """Returns the worker-side attempt number for a task."""
+
+    def run_task(self, task):
+        return (task, current_task_attempt())
+
+
+class _ManualPool:
+    """Scriptable in-process stand-in for ProcessTaskPool."""
+
+    def __init__(self, on_submit=None):
+        self.on_submit = on_submit
+        self.closed = False
+        self.broken = False
+        self.warmed = 0
+
+    def submit(self, task):
+        inner = task.task if isinstance(task, _AttemptedTask) else task
+        future: Future = Future()
+        if self.on_submit is None:
+            future.set_result(inner)
+            return future
+        try:
+            outcome = self.on_submit(self, inner)
+        except BaseException as error:  # noqa: BLE001 - scripted failures
+            future.set_exception(error)
+            return future
+        if outcome is _NEVER:
+            return future  # deliberately left pending (hung worker)
+        future.set_result(outcome)
+        return future
+
+    def warm(self, wait=False):
+        self.warmed += 1
+
+    def close(self):
+        self.closed = True
+
+    def is_broken(self):
+        return self.broken
+
+
+_NEVER = object()
+
+
+def _echo_supervised(registry=None, **config):
+    return SupervisedTaskPool(
+        _EchoPayload(),
+        max_workers=1,
+        config=SupervisionConfig(**config),
+        registry=registry,
+        pool_factory=_ManualPool,
+    )
+
+
+# ---------------------------------------------------------------------- #
+class TestSupervisionLogic:
+    """State-machine tests against the scriptable pool (no spawns)."""
+
+    def test_results_pass_through_unchanged(self):
+        registry = MetricsRegistry()
+        with _echo_supervised(registry) as pool:
+            assert [pool.run(i) for i in range(5)] == list(range(5))
+        snap = registry.snapshot()["counters"]
+        assert snap["supervision.respawns"] == 0
+        assert snap["supervision.quarantined"] == 0
+
+    def test_task_exceptions_propagate_without_retry(self):
+        calls = []
+
+        def explode(pool, task):
+            calls.append(task)
+            raise ValueError(f"bad task {task}")
+
+        registry = MetricsRegistry()
+        supervised = SupervisedTaskPool(
+            _EchoPayload(),
+            registry=registry,
+            pool_factory=lambda: _ManualPool(explode),
+        )
+        with supervised:
+            with pytest.raises(ValueError, match="bad task 7"):
+                supervised.run(7)
+        assert calls == [7]  # exactly one execution: exceptions never retry
+        assert registry.snapshot()["counters"]["supervision.respawns"] == 0
+
+    def test_crash_respawns_and_redispatches(self):
+        generations = []
+
+        def factory():
+            if not generations:
+                pool = _ManualPool(_crash_once)
+            else:
+                pool = _ManualPool()  # healthy echo
+            generations.append(pool)
+            return pool
+
+        def _crash_once(pool, task):
+            pool.broken = True
+            raise BrokenProcessPool("worker died")
+
+        registry = MetricsRegistry()
+        supervised = SupervisedTaskPool(
+            _EchoPayload(),
+            config=SupervisionConfig(respawn_backoff_s=0.0),
+            registry=registry,
+            pool_factory=factory,
+        )
+        with supervised:
+            assert supervised.run(11) == 11
+        assert len(generations) == 2
+        assert generations[0].closed  # dead generation was torn down
+        counters = registry.snapshot()["counters"]
+        assert counters["supervision.respawns"] == 1
+        assert counters["supervision.redispatches"] == 1
+
+    def test_poison_task_quarantined_as_taskfailure(self):
+        def always_crash(pool, task):
+            pool.broken = True
+            raise BrokenProcessPool("worker died")
+
+        registry = MetricsRegistry()
+        supervised = SupervisedTaskPool(
+            _EchoPayload(),
+            config=SupervisionConfig(max_task_retries=2, respawn_backoff_s=0.0),
+            registry=registry,
+            pool_factory=lambda: _ManualPool(always_crash),
+        )
+        with supervised:
+            failure = supervised.run("poison")
+        assert isinstance(failure, TaskFailure)
+        assert failure.task == "poison"
+        assert failure.attempts == 2
+        assert failure.kind == "crash"
+        with pytest.raises(TaskQuarantined, match="quarantined"):
+            raise failure.to_exception()
+        assert registry.snapshot()["counters"]["supervision.quarantined"] == 1
+
+    def test_deadline_fails_future_without_teardown(self):
+        def hang_on_slow(pool, task):
+            return _NEVER if task == "slow" else task
+
+        registry = MetricsRegistry()
+        supervised = SupervisedTaskPool(
+            _EchoPayload(),
+            registry=registry,
+            pool_factory=lambda: _ManualPool(hang_on_slow),
+        )
+        with supervised:
+            with pytest.raises(TimeoutError, match="deadline"):
+                supervised.run("slow", deadline_s=0.1)
+            # healthy tasks keep flowing through the same generation
+            assert supervised.run("quick") == "quick"
+        counters = registry.snapshot()["counters"]
+        assert counters["supervision.deadline_timeouts"] == 1
+        assert counters["supervision.respawns"] == 0
+
+    def test_degrade_to_thread_when_respawn_keeps_failing(self):
+        state = {"factory_calls": 0}
+
+        def factory():
+            state["factory_calls"] += 1
+            if state["factory_calls"] == 1:
+                return _ManualPool(_crash)
+            raise OSError("spawn exhausted")
+
+        def _crash(pool, task):
+            pool.broken = True
+            raise BrokenProcessPool("worker died")
+
+        registry = MetricsRegistry()
+        supervised = SupervisedTaskPool(
+            _EchoPayload(),
+            max_workers=2,
+            config=SupervisionConfig(
+                respawn_backoff_s=0.0,
+                max_respawn_failures=2,
+                degrade_to_thread=True,
+            ),
+            registry=registry,
+            pool_factory=factory,
+        )
+        with supervised:
+            # first task rides the crash -> respawn-fails -> degrade path
+            assert supervised.run(21) == 42
+            # later submits go straight to the degraded thread pool
+            assert supervised.run(4) == 8
+        counters = registry.snapshot()["counters"]
+        assert counters["supervision.degraded"] == 1
+        assert state["factory_calls"] == 1 + 2  # initial + 2 failed respawns
+
+    def test_respawn_exhaustion_without_degrade_fails_tasks(self):
+        state = {"factory_calls": 0}
+
+        def factory():
+            state["factory_calls"] += 1
+            if state["factory_calls"] == 1:
+                return _ManualPool(_crash)
+            raise OSError("spawn exhausted")
+
+        def _crash(pool, task):
+            pool.broken = True
+            raise BrokenProcessPool("worker died")
+
+        supervised = SupervisedTaskPool(
+            _EchoPayload(),
+            config=SupervisionConfig(
+                respawn_backoff_s=0.0, max_respawn_failures=2, degrade_to_thread=False
+            ),
+            pool_factory=factory,
+        )
+        with supervised:
+            with pytest.raises(RespawnExhausted, match="2 consecutive"):
+                supervised.run(1)
+
+    def test_submit_after_close_raises_pool_closed_error(self):
+        supervised = _echo_supervised()
+        supervised.close()
+        supervised.close()  # idempotent
+        with pytest.raises(PoolClosedError, match="closed") as excinfo:
+            supervised.submit(1)
+        assert "SupervisedTaskPool" in str(excinfo.value)
+        assert "_EchoPayload" in str(excinfo.value)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_task_retries"):
+            SupervisionConfig(max_task_retries=0)
+        with pytest.raises(ValueError, match="task_deadline_s"):
+            SupervisionConfig(task_deadline_s=0.0)
+        with pytest.raises(ValueError, match="respawn_backoff_factor"):
+            SupervisionConfig(respawn_backoff_factor=0.5)
+
+
+# ---------------------------------------------------------------------- #
+class TestRealProcessCrashes:
+    """Chaos paths against real spawned workers (SIGKILL via ProcessKillFault)."""
+
+    def test_kill_then_transparent_respawn(self):
+        killer = ProcessKillFault(names=frozenset({"task-3"}), at_attempt=1)
+        registry = MetricsRegistry()
+        supervised = SupervisedTaskPool(
+            _EchoPayload(killer),
+            max_workers=1,
+            config=SupervisionConfig(respawn_backoff_s=0.0),
+            registry=registry,
+        )
+        with supervised:
+            futures = [supervised.submit(i) for i in range(5)]
+            assert [f.result(timeout=120) for f in futures] == [0, 2, 4, 6, 8]
+        counters = registry.snapshot()["counters"]
+        assert counters["supervision.respawns"] >= 1
+        assert counters["supervision.quarantined"] == 0
+        histogram = registry.snapshot()["histograms"]["supervision.respawn_s"]
+        assert histogram["count"] >= 1
+
+    def test_poison_task_surfaces_exactly_one_taskfailure(self):
+        killer = ProcessKillFault(names=frozenset({"task-2"}), at_attempt=0)
+        registry = MetricsRegistry()
+        supervised = SupervisedTaskPool(
+            _EchoPayload(killer),
+            max_workers=1,
+            config=SupervisionConfig(max_task_retries=2, respawn_backoff_s=0.0),
+            registry=registry,
+        )
+        with supervised:
+            results = [supervised.run(i) for i in range(4)]
+        failures = [r for r in results if isinstance(r, TaskFailure)]
+        assert len(failures) == 1
+        assert failures[0].task == 2
+        assert failures[0].attempts == 2
+        clean = [r for r in results if not isinstance(r, TaskFailure)]
+        assert clean == [0, 2, 6]
+        assert registry.snapshot()["counters"]["supervision.quarantined"] == 1
+
+    def test_worker_side_attempt_numbers(self):
+        supervised = SupervisedTaskPool(_AttemptReporterPayload(), max_workers=1)
+        with supervised:
+            assert supervised.run("x") == ("x", 1)
+        assert current_task_attempt() is None  # coordinator side stays inert
+
+    def test_worker_pids_visible_after_warm(self):
+        with SupervisedTaskPool(_EchoPayload(), max_workers=1) as supervised:
+            supervised.warm(wait=True)
+            pids = supervised.worker_pids()
+            assert len(pids) == 1
+            assert all(isinstance(pid, int) for pid in pids)
+
+
+# ---------------------------------------------------------------------- #
+class TestPoolClosedError:
+    def test_plain_pool_names_pool_and_payload(self):
+        pool = ProcessTaskPool(_EchoPayload(), max_workers=1)
+        pool.close()
+        with pytest.raises(PoolClosedError, match="closed") as excinfo:
+            pool.submit(1)
+        message = str(excinfo.value)
+        assert "ProcessTaskPool" in message
+        assert "_EchoPayload" in message
+        with pytest.raises(PoolClosedError):
+            pool.run(1)
+
+    def test_pool_closed_error_pickles(self):
+        error = PoolClosedError("ProcessTaskPool", "_EchoPayload")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, PoolClosedError)
+        assert str(clone) == str(error)
+
+
+# ---------------------------------------------------------------------- #
+class TestProcessKillFault:
+    def test_inert_outside_worker_processes(self):
+        killer = ProcessKillFault(names=frozenset({"here"}), at_attempt=1)
+        killer.check("here")  # would SIGKILL the test process if not guarded
+        assert current_task_attempt() is None
+
+    def test_plan_process_kills_is_seeded_and_recorded(self):
+        candidates = [f"shard-{i}" for i in range(10)]
+        first = FaultInjector(seed=7).plan_process_kills(candidates, count=2)
+        second = FaultInjector(seed=7).plan_process_kills(candidates, count=2)
+        assert first.names == second.names
+        assert len(first.names) == 2
+        third = FaultInjector(seed=8).plan_process_kills(candidates, count=2)
+        assert first.names != third.names  # seed moves the draw
+
+        injector = FaultInjector(seed=7)
+        injector.plan_process_kills(candidates, count=2)
+        assert [e.mode for e in injector.injected] == ["process_kill", "process_kill"]
+        assert {e.job_name for e in injector.injected} == set(first.names)
+
+    def test_disabled_injector_plans_nothing(self):
+        injector = FaultInjector(seed=7, enabled=False)
+        fault = injector.plan_process_kills(["a", "b"], count=1)
+        assert fault.names == frozenset()
+        assert injector.injected == []
+
+    def test_fault_pickles(self):
+        fault = ProcessKillFault(names=frozenset({"a"}), at_attempt=2)
+        clone = pickle.loads(pickle.dumps(fault))
+        assert clone == fault
+
+
+# ---------------------------------------------------------------------- #
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def test_full_cycle_closed_open_halfopen_closed(self):
+        from repro.parallel import CircuitBreaker
+
+        clock = _FakeClock()
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(
+            name="replica-0",
+            failure_threshold=3,
+            reset_timeout_s=10.0,
+            registry=registry,
+            clock=clock,
+        )
+        assert breaker.state == "closed"
+        # a success resets the consecutive-failure streak
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # third consecutive: trips open
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.seconds_until_probe() == pytest.approx(10.0)
+
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.peek_allow()
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe in flight
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+        snap = registry.snapshot()
+        assert snap["counters"]["supervision.breaker_opened"] == 1
+        assert snap["gauges"]["supervision.breaker_open_s"] == pytest.approx(10.0)
+
+    def test_half_open_probe_failure_reopens(self):
+        from repro.parallel import CircuitBreaker
+
+        clock = _FakeClock()
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, registry=registry, clock=clock
+        )
+        assert breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.record_failure()  # probe failed: reopen for a full window
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert registry.snapshot()["counters"]["supervision.breaker_opened"] == 2
+
+    def test_validation(self):
+        from repro.parallel import CircuitBreaker
+
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout_s"):
+            CircuitBreaker(reset_timeout_s=0.0)
